@@ -1,0 +1,203 @@
+// Command velamaster runs VELA's master process against a set of running
+// velaworker processes: it manufactures the pre-trained checkpoint
+// (deterministic), profiles expert locality on the chosen corpus, solves
+// the locality-aware placement for the declared topology, ships each
+// expert to its worker, and drives LoRA fine-tuning through the Expert
+// Broker while accounting every byte.
+//
+// Usage (start the workers first):
+//
+//	velaworker -listen 127.0.0.1:7001 & velaworker -listen 127.0.0.1:7002 &
+//	velamaster -workers 127.0.0.1:7001,127.0.0.1:7002 -devices-per-node 1 \
+//	           -dataset shakespeare -steps 20 -strategy vela
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/moe"
+	"repro/internal/nn"
+	"repro/internal/placement"
+	"repro/internal/trainer"
+	"repro/internal/transport"
+)
+
+func main() {
+	workers := flag.String("workers", "", "comma-separated worker addresses (required)")
+	devicesPerNode := flag.Int("devices-per-node", 2, "workers per physical node (first node hosts the master)")
+	dataset := flag.String("dataset", "shakespeare", "fine-tuning corpus: shakespeare|wikitext|alpaca")
+	steps := flag.Int("steps", 20, "fine-tuning steps")
+	strategy := flag.String("strategy", "vela", "expert placement: vela|sequential|random|greedy")
+	pretrainSteps := flag.Int("pretrain-steps", 120, "checkpoint pre-training steps")
+	ckptPath := flag.String("ckpt", "", "checkpoint file: loaded if present, written after pre-training otherwise")
+	flag.Parse()
+
+	if *workers == "" {
+		log.Fatal("velamaster: -workers is required")
+	}
+	if err := run(strings.Split(*workers, ","), *devicesPerNode, *dataset, *strategy, *steps, *pretrainSteps, *ckptPath); err != nil {
+		log.Fatalf("velamaster: %v", err)
+	}
+}
+
+func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps, pretrainSteps int, ckptPath string) error {
+	corpus, err := corpusFor(dataset)
+	if err != nil {
+		return err
+	}
+
+	cfg := moe.TinyMistralConfig()
+	var model *moe.Model
+	var grid [][]*moe.Expert
+	if ckptPath != "" {
+		if model, grid, err = checkpoint.LoadFile(ckptPath); err == nil {
+			fmt.Printf("loaded checkpoint %s\n", ckptPath)
+			cfg = model.Cfg
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if model == nil {
+		fmt.Printf("building pre-trained checkpoint (%d steps)...\n", pretrainSteps)
+		pcfg := trainer.DefaultPretrain()
+		pcfg.Steps = pretrainSteps
+		if model, grid, err = trainer.BuildPretrained(cfg, 20000, pcfg); err != nil {
+			return err
+		}
+		if ckptPath != "" {
+			if err := checkpoint.SaveFile(ckptPath, model, grid); err != nil {
+				return err
+			}
+			fmt.Printf("saved checkpoint to %s\n", ckptPath)
+		}
+	}
+	model.BindLocalExperts(grid)
+	lora := trainer.PaperLoRA()
+	trainer.PrepareForFinetune(model, grid, lora)
+
+	fmt.Println("profiling expert locality on the fine-tuning corpus...")
+	stats, err := trainer.Profile(model, corpus, 20, 2, 32, 41)
+	if err != nil {
+		return err
+	}
+
+	topo := cluster.Uniform(len(addrs), devicesPerNode,
+		(cfg.Layers*cfg.Experts+len(addrs)-1)/len(addrs)+2,
+		18.3*cluster.GB, 1.17*cluster.GB)
+	prob := &placement.Problem{
+		Workers:         topo.NumWorkers(),
+		Layers:          cfg.Layers,
+		Experts:         cfg.Experts,
+		P:               stats.Prob(),
+		Bandwidth:       topo.Bandwidths(),
+		Capacity:        topo.Capacities(),
+		RoutingsPerStep: float64(2 * 32 * cfg.TopK),
+		BytesPerToken:   2 * float64(cfg.D),
+		WorkerNode:      topo.WorkerNodes(),
+		MasterNode:      topo.MasterNode,
+	}
+	strat, err := strategyFor(strategyName)
+	if err != nil {
+		return err
+	}
+	assign, err := strat.Place(prob)
+	if err != nil {
+		return err
+	}
+	m, err := placement.Evaluate(prob, assign)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placement (%s): expected %s\n", strat.Name(), m)
+
+	fmt.Printf("connecting to %d workers...\n", len(addrs))
+	conns := make([]transport.Conn, len(addrs))
+	for i, addr := range addrs {
+		c, err := transport.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			return fmt.Errorf("worker %d (%s): %w", i, addr, err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	exec := broker.NewExecutor(conns, assign)
+	crossNode := make([]bool, topo.NumWorkers())
+	for n := range crossNode {
+		crossNode[n] = topo.CrossNode(n)
+	}
+	exec.Traffic = metrics.NewTraffic(topo.NumWorkers(), crossNode)
+
+	fmt.Println("distributing experts to workers...")
+	spec := broker.ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: lora.Rank, LoRAAlpha: lora.Alpha}
+	if err := exec.Distribute(grid, spec); err != nil {
+		return err
+	}
+	model.SetExecutor(exec)
+
+	fmt.Printf("fine-tuning for %d steps on %s...\n", steps, corpus.Name)
+	backbone := nn.CollectTrainable(model.Params())
+	ft := &trainer.Finetuner{
+		Model:      model,
+		Backbone:   backbone,
+		Opt:        nn.NewAdamW(backbone, nn.PaperAdamWConfig()),
+		Batcher:    data.NewBatcher(corpus, 2, 32, 43),
+		ExpertZero: exec.ZeroGrads,
+		ExpertStep: exec.Step,
+	}
+	start := time.Now()
+	if err := ft.Run(steps, func(step int, loss float64) {
+		if (step+1)%5 == 0 || step == 0 {
+			fmt.Printf("  step %3d  loss %.4f\n", step+1, loss)
+		}
+	}); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\ndone in %v (%.3f s/step)\n", elapsed.Round(time.Millisecond), elapsed.Seconds()/float64(steps))
+	fmt.Printf("traffic: %.1f MB total, %.1f MB cross-node\n",
+		float64(exec.Traffic.TotalBytes())/1e6, float64(exec.Traffic.CrossNodeBytes())/1e6)
+	for n, w := range exec.Traffic.Snapshot() {
+		fmt.Printf("  worker %d: %8.1f MB out, %8.1f MB in, %d messages\n",
+			n, float64(w.BytesToWorker)/1e6, float64(w.BytesFromWorker)/1e6, w.Messages)
+	}
+	return exec.Shutdown()
+}
+
+func corpusFor(name string) (*data.Corpus, error) {
+	switch name {
+	case "shakespeare":
+		return data.Shakespeare(20000), nil
+	case "wikitext":
+		return data.WikiText(20000), nil
+	case "alpaca":
+		return data.Alpaca(20000), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func strategyFor(name string) (placement.Strategy, error) {
+	switch name {
+	case "vela":
+		return placement.LocalityLP{}, nil
+	case "sequential":
+		return placement.Sequential{}, nil
+	case "random":
+		return placement.Random{Seed: 1}, nil
+	case "greedy":
+		return placement.Greedy{}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", name)
+	}
+}

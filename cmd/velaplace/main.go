@@ -1,0 +1,96 @@
+// Command velaplace is the offline placement explorer: given a workload
+// profile and a cluster topology, it solves the expert placement with
+// every strategy and prints the expected communication metrics side by
+// side — a quick way to see what locality-aware placement buys before
+// launching a fine-tuning job.
+//
+// Usage:
+//
+//	velaplace -profile mixtral-wikitext -workers 6 -devices-per-node 2 \
+//	          -capacity 48 -intra-gbps 18.3 -inter-gbps 1.17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cluster"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+func main() {
+	profileName := flag.String("profile", "mixtral-wikitext", "workload profile: mixtral-wikitext|mixtral-alpaca|gritlm-wikitext|gritlm-alpaca")
+	workers := flag.Int("workers", 6, "number of worker devices")
+	devicesPerNode := flag.Int("devices-per-node", 2, "devices per node")
+	capacity := flag.Int("capacity", 48, "experts per device (C_n)")
+	intraGbps := flag.Float64("intra-gbps", 18.3, "intra-node bandwidth, GB/s")
+	interGbps := flag.Float64("inter-gbps", 1.17, "inter-node bandwidth, GB/s")
+	tokens := flag.Int("tokens", 8*224, "tokens per step (batch × seq)")
+	flag.Parse()
+
+	var profile workload.Profile
+	found := false
+	for _, p := range workload.PaperProfiles() {
+		if p.Name == *profileName {
+			profile, found = p, true
+			break
+		}
+	}
+	if !found {
+		log.Fatalf("velaplace: unknown profile %q", *profileName)
+	}
+
+	topo := cluster.Uniform(*workers, *devicesPerNode, *capacity,
+		*intraGbps*cluster.GB, *interGbps*cluster.GB)
+	prob := &placement.Problem{
+		Workers:         topo.NumWorkers(),
+		Layers:          profile.Layers,
+		Experts:         profile.Experts,
+		P:               profile.Matrix(),
+		Bandwidth:       topo.Bandwidths(),
+		Capacity:        topo.Capacities(),
+		RoutingsPerStep: float64(*tokens * 2),
+		BytesPerToken:   8192,
+		WorkerNode:      topo.WorkerNodes(),
+		MasterNode:      topo.MasterNode,
+	}
+	if err := prob.Validate(); err != nil {
+		log.Fatalf("velaplace: %v", err)
+	}
+
+	strategies := []placement.Strategy{
+		placement.Sequential{},
+		placement.Random{Seed: 7},
+		placement.Greedy{},
+		placement.LocalityLP{},
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "strategy\tcomm time/step\tcross-node MB/node/step\tbottleneck loads\n")
+	var seqTime float64
+	for _, s := range strategies {
+		a, err := s.Place(prob)
+		if err != nil {
+			log.Fatalf("velaplace: %s: %v", s.Name(), err)
+		}
+		m, err := placement.Evaluate(prob, a)
+		if err != nil {
+			log.Fatalf("velaplace: %s: %v", s.Name(), err)
+		}
+		if s.Name() == "sequential" {
+			seqTime = m.CommTime
+		}
+		gain := ""
+		if seqTime > 0 && s.Name() != "sequential" {
+			gain = fmt.Sprintf(" (%+.1f%% vs seq)", 100*(m.CommTime-seqTime)/seqTime)
+		}
+		fmt.Fprintf(w, "%s\t%.4f s%s\t%.1f\t%v\n",
+			s.Name(), m.CommTime, gain, m.CrossNodeBytesPerNode/1e6, a.Loads(prob.Workers))
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+// Command velaworker runs one Expert Manager process: it listens for the
+// master's connection, receives its expert shard, serves forward/backward
+// requests, and applies local optimizer steps — the worker role of VELA's
+// master-worker architecture (Fig. 4 of the paper).
+//
+// Usage:
+//
+//	velaworker -listen 127.0.0.1:7001 -id 0
+//
+// The process exits cleanly when the master sends a shutdown message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/broker"
+	"repro/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	id := flag.Int("id", 0, "worker id (diagnostics only)")
+	flag.Parse()
+
+	l, err := transport.Listen(*listen)
+	if err != nil {
+		log.Fatalf("velaworker: %v", err)
+	}
+	defer l.Close()
+	fmt.Printf("velaworker %d listening on %s\n", *id, l.Addr())
+
+	conn, err := l.Accept()
+	if err != nil {
+		log.Fatalf("velaworker: accept: %v", err)
+	}
+	defer conn.Close()
+
+	w := broker.NewWorker(*id, broker.DefaultWorkerConfig())
+	if err := w.Serve(conn); err != nil {
+		log.Fatalf("velaworker: serve: %v", err)
+	}
+	fmt.Printf("velaworker %d: clean shutdown after hosting %d experts\n", *id, w.NumExperts())
+}

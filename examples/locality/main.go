@@ -1,0 +1,72 @@
+// Locality: reproduce the paper's §III measurement study end to end —
+// expert locality of a pre-trained MoE model (Fig. 3a), routing
+// confidence (Fig. 3b), and the stability of expert selection across an
+// entire fine-tuning run (Fig. 3c), plus the Theorem-1 check that
+// confident routings move less than uncertain ones.
+//
+// Run with: go run ./examples/locality  (add -full for paper-scale)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full TinyMistral geometry with 300 fine-tuning steps")
+	flag.Parse()
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+	if err := run(scale); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(scale experiments.Scale) error {
+	fmt.Println("== Fig 3(a): expert locality of the pre-trained checkpoint ==")
+	a, err := experiments.Fig3a(scale)
+	if err != nil {
+		return err
+	}
+	for l, row := range a.Freq {
+		fmt.Printf("block %2d: ", l+1)
+		for _, v := range row {
+			fmt.Printf("%5.2f", v)
+		}
+		fmt.Printf("   (max/min %.1fx)\n", a.MaxMinRatio[l])
+	}
+
+	fmt.Println("\n== Fig 3(b): routing confidence ==")
+	b, err := experiments.Fig3b(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selected softmax mass above 0.5: %.0f%% of tokens (paper: nearly all)\n", b.FracAbove05*100)
+	fmt.Printf("selected softmax mass above 0.7: %.0f%% of tokens (paper: over 60%%)\n", b.FracAbove07*100)
+
+	fmt.Println("\n== Fig 3(c): stability during fine-tuning ==")
+	c, err := experiments.Fig3c(scale)
+	if err != nil {
+		return err
+	}
+	for e, s := range c.Freq {
+		sum := s.Summarize()
+		fmt.Printf("expert %d: mean access frequency %.3f (σ %.3f) across %d steps\n",
+			e+1, sum.Mean, sum.Std, sum.N)
+	}
+
+	fmt.Println("\n== Theorem 1 on the live model ==")
+	th, err := experiments.Theorem1(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mean ΔP after one step — confident tokens: %.2e, uncertain tokens: %.2e\n",
+		th.MeanDeltaConfident, th.MeanDeltaUncertain)
+	fmt.Printf("top-k selection overlap: %.3f (1.0 = routing unchanged)\n", th.SelectionOverlap)
+	return nil
+}

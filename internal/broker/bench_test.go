@@ -1,0 +1,78 @@
+package broker
+
+import (
+	"testing"
+
+	"repro/internal/moe"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// BenchmarkBrokeredExchange measures one forward scatter/gather round
+// through the in-process broker: the per-layer overhead VELA's framework
+// adds over local execution.
+func BenchmarkBrokeredExchange(b *testing.B) {
+	cfg := moe.Config{Vocab: 24, D: 32, Heads: 4, Hidden: 64, Layers: 1, Experts: 8, TopK: 2}
+	_, grid := buildFinetuneSetup(cfg, 1)
+	dep := StartLocalWorkers(4, DefaultWorkerConfig())
+	exec := NewExecutor(dep.Conns, roundRobinAssignment(cfg, 4))
+	if err := exec.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+		b.Fatal(err)
+	}
+	batches := make(map[int]*tensor.Tensor, cfg.Experts)
+	for e := 0; e < cfg.Experts; e++ {
+		batches[e] = tensor.Full(0.1, 32, cfg.D)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.ForwardExperts(0, batches); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = exec.Shutdown()
+	_ = dep.Wait()
+}
+
+// BenchmarkBrokeredFinetuneStep measures a full fine-tuning step through
+// the broker (forward, backward, both optimizers).
+func BenchmarkBrokeredFinetuneStep(b *testing.B) {
+	cfg := testConfig()
+	m, grid := buildFinetuneSetup(cfg, 2)
+	dep := StartLocalWorkers(3, DefaultWorkerConfig())
+	exec := NewExecutor(dep.Conns, roundRobinAssignment(cfg, 3))
+	if err := exec.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+		b.Fatal(err)
+	}
+	m.SetExecutor(exec)
+	backbone := nn.CollectTrainable(m.Params())
+	opt := nn.NewAdamW(backbone, nn.PaperAdamWConfig())
+	ids := make([]int, 2*8)
+	targets := make([]int, 2*8)
+	for i := range ids {
+		ids[i] = i % cfg.Vocab
+		targets[i] = (i + 1) % cfg.Vocab
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.ZeroGrads(backbone)
+		if err := exec.ZeroGrads(); err != nil {
+			b.Fatal(err)
+		}
+		logits, err := m.Forward(ids, 2, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, dl := nn.CrossEntropy(logits, targets)
+		if err := m.Backward(dl); err != nil {
+			b.Fatal(err)
+		}
+		opt.Step()
+		if err := exec.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = exec.Shutdown()
+	_ = dep.Wait()
+}

@@ -1,0 +1,453 @@
+package broker
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/moe"
+	"repro/internal/nn"
+	"repro/internal/placement"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func testConfig() moe.Config {
+	return moe.Config{Vocab: 24, D: 8, Heads: 2, Hidden: 12, Layers: 3, Experts: 4, TopK: 2}
+}
+
+// buildFinetuneSetup constructs a frozen pre-trained-style model with LoRA
+// everywhere (except gates), deterministically from seeds.
+func buildFinetuneSetup(cfg moe.Config, seed int64) (*moe.Model, [][]*moe.Expert) {
+	rng := rand.New(rand.NewSource(seed))
+	m := moe.NewModel(cfg, rng, true)
+	grid := moe.NewExpertGrid(cfg, rng, true)
+	m.Freeze()
+	for _, row := range grid {
+		for _, e := range row {
+			for _, p := range e.Params() {
+				p.Trainable = false
+			}
+		}
+	}
+	loraRng := rand.New(rand.NewSource(seed + 1))
+	m.AttachLoRA(loraRng, 2, 4)
+	for _, row := range grid {
+		for _, e := range row {
+			e.AttachLoRA(loraRng, 2, 4)
+		}
+	}
+	return m, grid
+}
+
+func roundRobinAssignment(cfg moe.Config, workers int) *placement.Assignment {
+	a := placement.NewAssignment(cfg.Layers, cfg.Experts)
+	for l := 0; l < cfg.Layers; l++ {
+		for e := 0; e < cfg.Experts; e++ {
+			a.Worker[l][e] = e % workers
+		}
+	}
+	return a
+}
+
+func TestExpertCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := moe.NewExpert(moe.ExpertID{Layer: 2, Expert: 1}, rng, 6, 10, true)
+	e.AttachLoRA(rng, 2, 8)
+	for _, p := range e.Params() {
+		for i := range p.Grad.Data {
+			_ = i
+		}
+	}
+	spec := ExpertSpec{D: 6, Hidden: 10, LoRARank: 2, LoRAAlpha: 8}
+	msg := encodeExpert(e, spec)
+	got, gotSpec, err := decodeExpert(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec != spec {
+		t.Fatalf("spec mismatch: %+v vs %+v", gotSpec, spec)
+	}
+	if got.ID != e.ID {
+		t.Fatalf("ID mismatch: %v vs %v", got.ID, e.ID)
+	}
+	// Same forward output on the same input.
+	x := tensor.Randn(rng, 1, 3, 6)
+	want := e.Forward(x)
+	have := got.Forward(x)
+	for i := range want.Data {
+		if want.Data[i] != have.Data[i] {
+			t.Fatal("decoded expert diverges from original")
+		}
+	}
+}
+
+func TestDecodeExpertRejectsGarbage(t *testing.T) {
+	if _, _, err := decodeExpert(&wire.Message{Type: wire.MsgForward}); err == nil {
+		t.Fatal("wrong type must fail")
+	}
+	if _, _, err := decodeExpert(&wire.Message{Type: wire.MsgAssign}); err == nil {
+		t.Fatal("missing metadata must fail")
+	}
+	bad := &wire.Message{Type: wire.MsgAssign, Tensors: []wire.Matrix{{Rows: 1, Cols: 4, Data: []float64{4, 8, 0, 0}}}}
+	if _, _, err := decodeExpert(bad); err == nil {
+		t.Fatal("missing params must fail")
+	}
+}
+
+func TestWorkerForwardMatchesLocalExpert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := moe.NewExpert(moe.ExpertID{Layer: 0, Expert: 0}, rng, 6, 10, true)
+	spec := ExpertSpec{D: 6, Hidden: 10}
+
+	w := NewWorker(0, DefaultWorkerConfig())
+	reply, done := w.handle(encodeExpert(ref, spec))
+	if done || reply.Type != wire.MsgAck {
+		t.Fatalf("assign reply %v", reply.Type)
+	}
+	if w.NumExperts() != 1 {
+		t.Fatal("expert not registered")
+	}
+
+	x := tensor.Randn(rng, 1, 4, 6)
+	fwd := &wire.Message{Type: wire.MsgForward, Layer: 0, Expert: 0, Seq: 5,
+		Tensors: []wire.Matrix{{Rows: 4, Cols: 6, Data: append([]float64(nil), x.Data...)}}}
+	reply, _ = w.handle(fwd)
+	if reply.Type != wire.MsgForwardResult {
+		t.Fatalf("forward reply %v: %s", reply.Type, reply.Text)
+	}
+	want := ref.Forward(x)
+	for i, v := range want.Data {
+		if reply.Tensors[0].Data[i] != v {
+			t.Fatal("worker forward diverges from local expert")
+		}
+	}
+	if reply.Seq != 5 {
+		t.Fatal("seq not echoed")
+	}
+}
+
+func TestWorkerErrorsOnUnknownExpert(t *testing.T) {
+	w := NewWorker(3, DefaultWorkerConfig())
+	reply, _ := w.handle(&wire.Message{Type: wire.MsgForward, Layer: 9, Expert: 9,
+		Tensors: []wire.Matrix{{Rows: 1, Cols: 1, Data: []float64{0}}}})
+	if reply.Type != wire.MsgError || !strings.Contains(reply.Text, "does not host") {
+		t.Fatalf("reply = %v %q", reply.Type, reply.Text)
+	}
+}
+
+func TestWorkerErrorsOnUnexpectedMessage(t *testing.T) {
+	w := NewWorker(0, DefaultWorkerConfig())
+	reply, done := w.handle(&wire.Message{Type: wire.MsgForwardResult})
+	if done || reply.Type != wire.MsgError {
+		t.Fatal("unexpected message must produce an error reply")
+	}
+}
+
+// TestBrokeredForwardMatchesLocal: the same model must produce
+// bit-identical logits whether experts run locally or behind the broker.
+func TestBrokeredForwardMatchesLocal(t *testing.T) {
+	cfg := testConfig()
+	mLocal, gridLocal := buildFinetuneSetup(cfg, 7)
+	mBrok, gridBrok := buildFinetuneSetup(cfg, 7)
+
+	mLocal.BindLocalExperts(gridLocal)
+
+	const workers = 3
+	dep := StartLocalWorkers(workers, DefaultWorkerConfig())
+	assign := roundRobinAssignment(cfg, workers)
+	exec := NewExecutor(dep.Conns, assign)
+	spec := ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}
+	if err := exec.Distribute(gridBrok, spec); err != nil {
+		t.Fatal(err)
+	}
+	mBrok.SetExecutor(exec)
+
+	ids := make([]int, 2*6)
+	for i := range ids {
+		ids[i] = (i * 5) % cfg.Vocab
+	}
+	lo, err := mLocal.Forward(ids, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := mBrok.Forward(ids, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lo.Data {
+		if lo.Data[i] != br.Data[i] {
+			t.Fatalf("logit %d differs: %v vs %v", i, lo.Data[i], br.Data[i])
+		}
+	}
+	if err := exec.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBrokeredFineTuningMatchesLocal is the convergence-equivalence claim
+// of §V-A ("fine-tuning MoE models with Vela produces the same convergence
+// results as traditional fine-tuning"): several LoRA fine-tuning steps
+// through the broker must produce exactly the same losses as the local
+// reference.
+func TestBrokeredFineTuningMatchesLocal(t *testing.T) {
+	cfg := testConfig()
+	const workers = 3
+	const steps = 4
+	const batch, seq = 2, 5
+
+	ids := make([]int, batch*seq)
+	targets := make([]int, batch*seq)
+	rng := rand.New(rand.NewSource(99))
+	for i := range ids {
+		ids[i] = rng.Intn(cfg.Vocab)
+		targets[i] = rng.Intn(cfg.Vocab)
+	}
+
+	runLocal := func() []float64 {
+		m, grid := buildFinetuneSetup(cfg, 7)
+		exec := m.BindLocalExperts(grid)
+		params := append(nn.CollectTrainable(m.Params()), nn.CollectTrainable(exec.Params())...)
+		opt := nn.NewAdamW(params, nn.PaperAdamWConfig())
+		var losses []float64
+		for s := 0; s < steps; s++ {
+			nn.ZeroGrads(params)
+			logits, err := m.Forward(ids, batch, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss, dl := nn.CrossEntropy(logits, targets)
+			losses = append(losses, loss)
+			if err := m.Backward(dl); err != nil {
+				t.Fatal(err)
+			}
+			opt.Step()
+		}
+		return losses
+	}
+
+	runBrokered := func() []float64 {
+		m, grid := buildFinetuneSetup(cfg, 7)
+		dep := StartLocalWorkers(workers, DefaultWorkerConfig())
+		exec := NewExecutor(dep.Conns, roundRobinAssignment(cfg, workers))
+		spec := ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}
+		if err := exec.Distribute(grid, spec); err != nil {
+			t.Fatal(err)
+		}
+		m.SetExecutor(exec)
+		backbone := nn.CollectTrainable(m.Params())
+		opt := nn.NewAdamW(backbone, nn.PaperAdamWConfig())
+		var losses []float64
+		for s := 0; s < steps; s++ {
+			nn.ZeroGrads(backbone)
+			if err := exec.ZeroGrads(); err != nil {
+				t.Fatal(err)
+			}
+			logits, err := m.Forward(ids, batch, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss, dl := nn.CrossEntropy(logits, targets)
+			losses = append(losses, loss)
+			if err := m.Backward(dl); err != nil {
+				t.Fatal(err)
+			}
+			opt.Step()
+			if err := exec.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := exec.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+
+	local := runLocal()
+	brok := runBrokered()
+	for s := range local {
+		if math.Abs(local[s]-brok[s]) > 1e-12 {
+			t.Fatalf("step %d loss diverges: local %.12f vs brokered %.12f", s, local[s], brok[s])
+		}
+	}
+	// Losses should actually change across steps (training is happening).
+	if local[0] == local[steps-1] {
+		t.Fatal("losses identical across steps — optimizer not applied?")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	cfg := moe.Config{Vocab: 10, D: 4, Heads: 1, Hidden: 6, Layers: 1, Experts: 2, TopK: 1}
+	m, grid := buildFinetuneSetup(cfg, 3)
+	const workers = 2
+	dep := StartLocalWorkers(workers, DefaultWorkerConfig())
+	assign := roundRobinAssignment(cfg, workers)
+	exec := NewExecutor(dep.Conns, assign)
+	exec.Traffic = metrics.NewTraffic(workers, []bool{false, true})
+	if err := exec.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExecutor(exec)
+
+	const batch, seq = 1, 6
+	ids := []int{1, 2, 3, 4, 5, 6}
+	if _, err := m.Forward(ids, batch, seq); err != nil {
+		t.Fatal(err)
+	}
+	snap := exec.Traffic.Snapshot()
+	var tokensOut int64
+	for _, w := range snap {
+		tokensOut += w.TokensToWorker
+		// Returned tokens must equal dispatched tokens per worker.
+		if w.TokensToWorker != w.TokensFromWoker {
+			t.Fatalf("token conservation violated: %+v", w)
+		}
+		// Logical bytes = tokens × D × 2 (fp16).
+		if w.BytesToWorker != w.TokensToWorker*int64(cfg.D)*2 {
+			t.Fatalf("byte accounting wrong: %+v", w)
+		}
+	}
+	// top-1 routing of 6 tokens in 1 block → exactly 6 token copies out.
+	if tokensOut != 6 {
+		t.Fatalf("dispatched %d token copies, want 6", tokensOut)
+	}
+	if exec.Traffic.TotalBytes() != 2*6*int64(cfg.D)*2 {
+		t.Fatalf("total bytes = %d", exec.Traffic.TotalBytes())
+	}
+	if err := exec.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	_ = dep.Wait()
+}
+
+func TestChecksumsAndDistributionPlacement(t *testing.T) {
+	cfg := testConfig()
+	_, grid := buildFinetuneSetup(cfg, 5)
+	const workers = 4
+	dep := StartLocalWorkers(workers, DefaultWorkerConfig())
+	assign := roundRobinAssignment(cfg, workers)
+	exec := NewExecutor(dep.Conns, assign)
+	if err := exec.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Each worker hosts the experts the assignment says: 3 layers × 1
+	// per layer for each of 4 workers.
+	for n, w := range dep.Workers {
+		want := 0
+		for l := 0; l < cfg.Layers; l++ {
+			for e := 0; e < cfg.Experts; e++ {
+				if assign.Worker[l][e] == n {
+					want++
+				}
+			}
+		}
+		if w.NumExperts() != want {
+			t.Fatalf("worker %d hosts %d experts, want %d", n, w.NumExperts(), want)
+		}
+	}
+	sums, err := exec.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != workers {
+		t.Fatalf("got %d checksums", len(sums))
+	}
+	for n, s := range sums {
+		if len(s) != 3 || s[2] == 0 {
+			t.Fatalf("worker %d checksum malformed: %v", n, s)
+		}
+	}
+	if err := exec.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	_ = dep.Wait()
+}
+
+func TestExecutorErrorPropagation(t *testing.T) {
+	// No experts distributed: forwarding must surface the worker error.
+	cfg := moe.Config{Vocab: 10, D: 4, Heads: 1, Hidden: 6, Layers: 1, Experts: 2, TopK: 1}
+	dep := StartLocalWorkers(2, DefaultWorkerConfig())
+	exec := NewExecutor(dep.Conns, roundRobinAssignment(cfg, 2))
+	_, err := exec.ForwardExperts(0, map[int]*tensor.Tensor{0: tensor.Zeros(1, 4)})
+	if err == nil || !strings.Contains(err.Error(), "does not host") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := exec.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	_ = dep.Wait()
+}
+
+// TestTCPDeployment runs a miniature fine-tuning step over real TCP
+// loopback connections: master and 2 workers in one process, sockets in
+// between.
+func TestTCPDeployment(t *testing.T) {
+	cfg := moe.Config{Vocab: 12, D: 4, Heads: 1, Hidden: 6, Layers: 2, Experts: 2, TopK: 1}
+	m, grid := buildFinetuneSetup(cfg, 11)
+
+	const workers = 2
+	conns := make([]transport.Conn, workers)
+	serveDone := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		l, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWorker(i, DefaultWorkerConfig())
+		go func(l *transport.Listener, w *Worker) {
+			defer l.Close()
+			conn, err := l.Accept()
+			if err != nil {
+				serveDone <- err
+				return
+			}
+			serveDone <- w.Serve(conn)
+		}(l, w)
+		c, err := transport.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+
+	exec := NewExecutor(conns, roundRobinAssignment(cfg, workers))
+	if err := exec.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExecutor(exec)
+	ids := []int{1, 2, 3, 4}
+	logits, err := m.Forward(ids, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, dl := nn.CrossEntropy(logits, []int{2, 3, 4, 5})
+	if loss <= 0 {
+		t.Fatal("loss must be positive")
+	}
+	if err := m.Backward(dl); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-serveDone; err != nil {
+			t.Fatalf("worker serve: %v", err)
+		}
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}

@@ -1,0 +1,113 @@
+// Package broker implements VELA's distributed fine-tuning framework
+// (§IV-A): the Expert Broker that detaches expert layers from the model
+// backbone, the master-side executor that dispatches token batches and
+// gradients to workers, and the Expert Manager worker process that hosts
+// expert shards, serves forward/backward requests, and runs its local
+// optimizer.
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/moe"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// ExpertSpec describes the architecture of a shipped expert so the
+// receiving worker can rebuild it before loading weights.
+type ExpertSpec struct {
+	D         int
+	Hidden    int
+	LoRARank  int     // 0 = no adapter
+	LoRAAlpha float64 // meaningful when LoRARank > 0
+}
+
+// encodeExpert serializes an expert into a MsgAssign message: a metadata
+// row followed by every parameter tensor in Params() order.
+func encodeExpert(e *moe.Expert, spec ExpertSpec) *wire.Message {
+	m := &wire.Message{
+		Type:   wire.MsgAssign,
+		Layer:  int32(e.ID.Layer),
+		Expert: int32(e.ID.Expert),
+	}
+	meta := wire.Matrix{Rows: 1, Cols: 4, Data: []float64{
+		float64(spec.D), float64(spec.Hidden), float64(spec.LoRARank), spec.LoRAAlpha,
+	}}
+	m.Tensors = append(m.Tensors, meta)
+	for _, p := range e.Params() {
+		m.Tensors = append(m.Tensors, matrixOf(p.Value))
+	}
+	return m
+}
+
+// decodeExpert rebuilds an expert from a MsgAssign message. The rebuild
+// uses a throwaway RNG — every weight is immediately overwritten by the
+// shipped values, so the architecture is all that matters.
+func decodeExpert(m *wire.Message) (*moe.Expert, ExpertSpec, error) {
+	if m.Type != wire.MsgAssign {
+		return nil, ExpertSpec{}, fmt.Errorf("broker: decodeExpert on %v message", m.Type)
+	}
+	if len(m.Tensors) < 1 || m.Tensors[0].Cols != 4 {
+		return nil, ExpertSpec{}, fmt.Errorf("broker: assign message missing metadata")
+	}
+	meta := m.Tensors[0].Data
+	spec := ExpertSpec{
+		D:         int(meta[0]),
+		Hidden:    int(meta[1]),
+		LoRARank:  int(meta[2]),
+		LoRAAlpha: meta[3],
+	}
+	if spec.D <= 0 || spec.Hidden <= 0 {
+		return nil, ExpertSpec{}, fmt.Errorf("broker: invalid expert spec %+v", spec)
+	}
+	id := moe.ExpertID{Layer: int(m.Layer), Expert: int(m.Expert)}
+	rng := rand.New(rand.NewSource(1))
+	ex := moe.NewExpert(id, rng, spec.D, spec.Hidden, true)
+	if spec.LoRARank > 0 {
+		ex.AttachLoRA(rng, spec.LoRARank, spec.LoRAAlpha)
+	}
+	params := ex.Params()
+	if len(m.Tensors)-1 != len(params) {
+		return nil, ExpertSpec{}, fmt.Errorf("broker: assign carries %d tensors, expert has %d params",
+			len(m.Tensors)-1, len(params))
+	}
+	for i, p := range params {
+		src := m.Tensors[i+1]
+		if src.Rows*src.Cols != p.Value.Len() {
+			return nil, ExpertSpec{}, fmt.Errorf("broker: param %d size mismatch (%dx%d vs %d)",
+				i, src.Rows, src.Cols, p.Value.Len())
+		}
+		copy(p.Value.Data, src.Data)
+	}
+	return ex, spec, nil
+}
+
+// matrixOf views a tensor as a wire matrix (2-D as-is, otherwise as a
+// single row).
+func matrixOf(t *tensor.Tensor) wire.Matrix {
+	if t.Dims() == 2 {
+		return wire.Matrix{Rows: t.Dim(0), Cols: t.Dim(1), Data: t.Data}
+	}
+	return wire.Matrix{Rows: 1, Cols: t.Len(), Data: t.Data}
+}
+
+// tensorOf converts a wire matrix into a tensor.
+func tensorOf(m wire.Matrix) *tensor.Tensor {
+	return tensor.New(m.Data, m.Rows, m.Cols)
+}
+
+// checksumParams produces a stable diagnostic vector (Σ value, Σ grad,
+// count) over a parameter list.
+func checksumParams(params []*nn.Param) []float64 {
+	var v, g float64
+	n := 0
+	for _, p := range params {
+		v += p.Value.Sum()
+		g += p.Grad.Sum()
+		n += p.Value.Len()
+	}
+	return []float64{v, g, float64(n)}
+}

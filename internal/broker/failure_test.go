@@ -1,0 +1,115 @@
+package broker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/moe"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestExecutorSurvivesDeadWorker: if a worker connection dies mid-run,
+// the executor must return an error rather than hang or panic.
+func TestExecutorSurvivesDeadWorker(t *testing.T) {
+	cfg := moe.Config{Vocab: 10, D: 4, Heads: 1, Hidden: 6, Layers: 1, Experts: 2, TopK: 1}
+	_, grid := buildFinetuneSetup(cfg, 3)
+	dep := StartLocalWorkers(2, DefaultWorkerConfig())
+	exec := NewExecutor(dep.Conns, roundRobinAssignment(cfg, 2))
+	if err := exec.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill worker 1's pipe.
+	_ = dep.Conns[1].Close()
+
+	_, err := exec.ForwardExperts(0, map[int]*tensor.Tensor{
+		0: tensor.Zeros(1, cfg.D),
+		1: tensor.Zeros(1, cfg.D),
+	})
+	if err == nil {
+		t.Fatal("forward through a dead worker must fail")
+	}
+	// The surviving worker still serves.
+	out, err := exec.ForwardExperts(0, map[int]*tensor.Tensor{0: tensor.Zeros(1, cfg.D)})
+	if err != nil {
+		t.Fatalf("surviving worker must keep serving: %v", err)
+	}
+	if out[0] == nil {
+		t.Fatal("missing output from surviving worker")
+	}
+	dep.Close()
+}
+
+// TestWorkerServeStopsOnClosedConn: the Expert Manager's serve loop must
+// exit with an error (not spin) when its connection is severed.
+func TestWorkerServeStopsOnClosedConn(t *testing.T) {
+	masterEnd, workerEnd := transport.Pipe()
+	w := NewWorker(0, DefaultWorkerConfig())
+	done := make(chan error, 1)
+	go func() { done <- w.Serve(workerEnd) }()
+	_ = masterEnd.Close()
+	if err := <-done; err == nil {
+		t.Fatal("serve must return an error on a severed connection")
+	}
+}
+
+// TestWorkerRejectsMalformedBatch: a forward message with the wrong
+// tensor count is answered with a protocol error, not a crash.
+func TestWorkerRejectsMalformedBatch(t *testing.T) {
+	w := NewWorker(0, DefaultWorkerConfig())
+	reply, done := w.handle(&wire.Message{Type: wire.MsgForward, Layer: 0, Expert: 0})
+	if done || reply.Type != wire.MsgError || !strings.Contains(reply.Text, "tensors") {
+		t.Fatalf("reply = %v %q", reply.Type, reply.Text)
+	}
+}
+
+// TestBrokenAssignDoesNotPoisonWorker: after a rejected assignment the
+// worker keeps serving valid requests.
+func TestBrokenAssignDoesNotPoisonWorker(t *testing.T) {
+	w := NewWorker(0, DefaultWorkerConfig())
+	bad := &wire.Message{Type: wire.MsgAssign, Layer: 0, Expert: 0,
+		Tensors: []wire.Matrix{{Rows: 1, Cols: 4, Data: []float64{-1, -1, 0, 0}}}}
+	reply, _ := w.handle(bad)
+	if reply.Type != wire.MsgError {
+		t.Fatalf("bad assign must error, got %v", reply.Type)
+	}
+	if w.NumExperts() != 0 {
+		t.Fatal("failed assign must not register an expert")
+	}
+	// A good assign then works.
+	cfg := moe.Config{Vocab: 10, D: 4, Heads: 1, Hidden: 6, Layers: 1, Experts: 1, TopK: 1}
+	_, grid := buildFinetuneSetup(cfg, 4)
+	good := encodeExpert(grid[0][0], ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4})
+	reply, _ = w.handle(good)
+	if reply.Type != wire.MsgAck || w.NumExperts() != 1 {
+		t.Fatalf("good assign after bad one failed: %v", reply.Type)
+	}
+}
+
+// TestDistributeToInvalidWorkerIndex: an assignment pointing outside the
+// connection set must be rejected up front.
+func TestDistributeToInvalidWorkerIndex(t *testing.T) {
+	cfg := moe.Config{Vocab: 10, D: 4, Heads: 1, Hidden: 6, Layers: 1, Experts: 2, TopK: 1}
+	_, grid := buildFinetuneSetup(cfg, 5)
+	dep := StartLocalWorkers(1, DefaultWorkerConfig())
+	defer dep.Close()
+	assign := roundRobinAssignment(cfg, 2) // references worker 1, which doesn't exist
+	exec := NewExecutor(dep.Conns, assign)
+	err := exec.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4})
+	if err == nil || !strings.Contains(err.Error(), "invalid worker") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestStepBeforeAssignIsHarmless: optimizer control on an empty worker
+// acks cleanly (no experts yet — e.g. a spare device).
+func TestStepBeforeAssignIsHarmless(t *testing.T) {
+	w := NewWorker(0, DefaultWorkerConfig())
+	if reply, _ := w.handle(&wire.Message{Type: wire.MsgZeroGrad}); reply.Type != wire.MsgAck {
+		t.Fatalf("zero-grad on empty worker: %v", reply.Type)
+	}
+	if reply, _ := w.handle(&wire.Message{Type: wire.MsgStep}); reply.Type != wire.MsgAck {
+		t.Fatalf("step on empty worker: %v", reply.Type)
+	}
+}

@@ -1,0 +1,313 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Executor is the master-side half of the Expert Broker: it implements
+// moe.Executor by shipping per-expert token batches to the workers that
+// host them (one-to-all, no all-to-all synchronization) and gathering the
+// results. It also broadcasts optimizer control messages at step
+// boundaries.
+type Executor struct {
+	conns  []transport.Conn
+	assign *placement.Assignment
+	// Traffic, when non-nil, receives logical byte accounting
+	// (rows × features × BytesPerValue per transfer).
+	Traffic *metrics.Traffic
+	// BytesPerValue is the logical bit-depth of an exchanged feature in
+	// bytes. The paper exchanges 16-bit features, so the default is 2.
+	BytesPerValue float64
+	// HalfPrecision makes token batches and gradients travel as IEEE
+	// binary16 on the wire, making the physical frame size match the
+	// 2-bytes-per-value logical accounting at the cost of ~1e-3 relative
+	// precision per exchanged value. Expert weights (Assign/Fetch) always
+	// travel at full precision.
+	HalfPrecision bool
+
+	seq atomic.Uint64
+}
+
+var _ moe.Executor = (*Executor)(nil)
+
+// NewExecutor builds a master-side executor over per-worker connections
+// and an expert-to-worker assignment.
+func NewExecutor(conns []transport.Conn, assign *placement.Assignment) *Executor {
+	return &Executor{conns: conns, assign: assign, BytesPerValue: 2}
+}
+
+// SetAssignment swaps the placement (e.g. after re-solving); the caller
+// must re-distribute experts first.
+func (x *Executor) SetAssignment(a *placement.Assignment) { x.assign = a }
+
+// Assignment returns the active placement.
+func (x *Executor) Assignment() *placement.Assignment { return x.assign }
+
+// workerOf returns the worker hosting expert e of the given layer.
+func (x *Executor) workerOf(layer, e int) int { return x.assign.Worker[layer][e] }
+
+// Distribute ships every expert in the grid to its assigned worker. It is
+// the runtime realization of a placement: called once before fine-tuning
+// starts (and again if the placement changes).
+func (x *Executor) Distribute(grid [][]*moe.Expert, spec ExpertSpec) error {
+	// Group experts per worker so each connection is used by one
+	// goroutine.
+	perWorker := make([][]*moe.Expert, len(x.conns))
+	for l, row := range grid {
+		for e, ex := range row {
+			n := x.workerOf(l, e)
+			if n < 0 || n >= len(x.conns) {
+				return fmt.Errorf("broker: expert L%d/E%d assigned to invalid worker %d", l, e, n)
+			}
+			perWorker[n] = append(perWorker[n], ex)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(x.conns))
+	for n := range x.conns {
+		if len(perWorker[n]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			conn := x.conns[n]
+			for _, ex := range perWorker[n] {
+				if err := conn.Send(encodeExpert(ex, spec)); err != nil {
+					errs[n] = err
+					return
+				}
+				reply, err := conn.Recv()
+				if err != nil {
+					errs[n] = err
+					return
+				}
+				if reply.Type == wire.MsgError {
+					errs[n] = fmt.Errorf("broker: worker %d: %s", n, reply.Text)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForwardExperts implements moe.Executor: dispatch token batches to the
+// owning workers (the token dispatcher of Fig. 4), gather outputs.
+func (x *Executor) ForwardExperts(layer int, batches map[int]*tensor.Tensor) (map[int]*tensor.Tensor, error) {
+	return x.exchange(layer, batches, wire.MsgForward, wire.MsgForwardResult)
+}
+
+// BackwardExperts implements moe.Executor: dispatch output gradients,
+// gather input gradients (the gradient dispatcher/receiver of Fig. 4).
+func (x *Executor) BackwardExperts(layer int, grads map[int]*tensor.Tensor) (map[int]*tensor.Tensor, error) {
+	return x.exchange(layer, grads, wire.MsgBackward, wire.MsgBackwardResult)
+}
+
+// exchange performs one one-to-all scatter/gather round for a layer.
+func (x *Executor) exchange(layer int, batches map[int]*tensor.Tensor, reqType, respType wire.MsgType) (map[int]*tensor.Tensor, error) {
+	// Group expert batches per worker in deterministic expert order.
+	perWorker := make(map[int][]int)
+	maxE := 0
+	for e := range batches {
+		if e > maxE {
+			maxE = e
+		}
+	}
+	for e := 0; e <= maxE; e++ {
+		if _, ok := batches[e]; !ok {
+			continue
+		}
+		n := x.workerOf(layer, e)
+		perWorker[n] = append(perWorker[n], e)
+	}
+
+	var mu sync.Mutex
+	results := make(map[int]*tensor.Tensor, len(batches))
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for n, experts := range perWorker {
+		wg.Add(1)
+		go func(n int, experts []int) {
+			defer wg.Done()
+			conn := x.conns[n]
+			for _, e := range experts {
+				b := batches[e]
+				payload := matrixOf(b)
+				payload.Half = x.HalfPrecision
+				msg := &wire.Message{
+					Type: reqType, Layer: int32(layer), Expert: int32(e),
+					Seq:     x.seq.Add(1),
+					Tensors: []wire.Matrix{payload},
+				}
+				if err := conn.Send(msg); err != nil {
+					setErr(fmt.Errorf("broker: send to worker %d: %w", n, err))
+					return
+				}
+				if x.Traffic != nil {
+					x.Traffic.AddToWorker(n, int64(b.Rows()), int64(float64(b.Len())*x.BytesPerValue))
+				}
+			}
+			for range experts {
+				reply, err := conn.Recv()
+				if err != nil {
+					setErr(fmt.Errorf("broker: recv from worker %d: %w", n, err))
+					return
+				}
+				switch reply.Type {
+				case respType:
+					out := tensorOf(reply.Tensors[0])
+					mu.Lock()
+					results[int(reply.Expert)] = out
+					mu.Unlock()
+					if x.Traffic != nil {
+						x.Traffic.AddFromWorker(n, int64(out.Rows()), int64(float64(out.Len())*x.BytesPerValue))
+					}
+				case wire.MsgError:
+					setErr(fmt.Errorf("broker: worker %d expert %d: %s", n, reply.Expert, reply.Text))
+					return
+				default:
+					setErr(fmt.Errorf("broker: worker %d sent unexpected %v", n, reply.Type))
+					return
+				}
+			}
+		}(n, experts)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// ZeroGrads broadcasts a gradient-clear to all workers and awaits acks.
+func (x *Executor) ZeroGrads() error { return x.broadcast(wire.MsgZeroGrad) }
+
+// Step broadcasts an optimizer step to all workers and awaits acks.
+func (x *Executor) Step() error { return x.broadcast(wire.MsgStep) }
+
+// Shutdown asks every worker to terminate and awaits acks.
+func (x *Executor) Shutdown() error { return x.broadcast(wire.MsgShutdown) }
+
+// Checksums collects per-worker (Σ value, Σ grad, #params) diagnostics.
+func (x *Executor) Checksums() ([][]float64, error) {
+	out := make([][]float64, len(x.conns))
+	for n, conn := range x.conns {
+		if err := conn.Send(&wire.Message{Type: wire.MsgStats, Seq: x.seq.Add(1)}); err != nil {
+			return nil, err
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if reply.Type != wire.MsgStatsResult || len(reply.Tensors) != 1 {
+			return nil, fmt.Errorf("broker: bad stats reply from worker %d: %v", n, reply.Type)
+		}
+		out[n] = reply.Tensors[0].Data
+	}
+	return out, nil
+}
+
+func (x *Executor) broadcast(t wire.MsgType) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(x.conns))
+	for n := range x.conns {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			conn := x.conns[n]
+			if err := conn.Send(&wire.Message{Type: t, Seq: x.seq.Add(1)}); err != nil {
+				errs[n] = err
+				return
+			}
+			reply, err := conn.Recv()
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			if reply.Type == wire.MsgError {
+				errs[n] = fmt.Errorf("broker: worker %d: %s", n, reply.Text)
+			} else if reply.Type != wire.MsgAck {
+				errs[n] = fmt.Errorf("broker: worker %d replied %v to %v", n, reply.Type, t)
+			}
+		}(n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LocalDeployment wires up n in-process workers over channel pipes — the
+// single-machine deployment used by tests, examples and the functional
+// half of the benchmark harness.
+type LocalDeployment struct {
+	Workers []*Worker
+	Conns   []transport.Conn
+
+	wg       sync.WaitGroup
+	serveErr []error
+}
+
+// StartLocalWorkers launches n Expert Managers on goroutines and returns
+// the deployment handle with the master-side connection endpoints.
+func StartLocalWorkers(n int, cfg WorkerConfig) *LocalDeployment {
+	d := &LocalDeployment{serveErr: make([]error, n)}
+	for i := 0; i < n; i++ {
+		masterEnd, workerEnd := transport.Pipe()
+		w := NewWorker(i, cfg)
+		d.Workers = append(d.Workers, w)
+		d.Conns = append(d.Conns, masterEnd)
+		d.wg.Add(1)
+		go func(i int) {
+			defer d.wg.Done()
+			d.serveErr[i] = w.Serve(workerEnd)
+		}(i)
+	}
+	return d
+}
+
+// Wait blocks until all workers exit (after Executor.Shutdown) and
+// returns the first serve error, if any.
+func (d *LocalDeployment) Wait() error {
+	d.wg.Wait()
+	for _, err := range d.serveErr {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close severs all connections (for abnormal teardown in tests).
+func (d *LocalDeployment) Close() {
+	for _, c := range d.Conns {
+		_ = c.Close()
+	}
+}

@@ -1,0 +1,96 @@
+package broker
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/wire"
+)
+
+// Fetch retrieves expert (layer, e) from the worker currently hosting it,
+// removing it there, and returns the raw weight payload (MsgAssign
+// layout). It is the first half of a runtime migration.
+func (x *Executor) Fetch(layer, e int) (*wire.Message, error) {
+	n := x.workerOf(layer, e)
+	conn := x.conns[n]
+	if err := conn.Send(&wire.Message{Type: wire.MsgFetch, Layer: int32(layer), Expert: int32(e), Seq: x.seq.Add(1)}); err != nil {
+		return nil, fmt.Errorf("broker: fetch send to worker %d: %w", n, err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("broker: fetch recv from worker %d: %w", n, err)
+	}
+	switch reply.Type {
+	case wire.MsgFetchResult:
+		return reply, nil
+	case wire.MsgError:
+		return nil, fmt.Errorf("broker: worker %d: %s", n, reply.Text)
+	default:
+		return nil, fmt.Errorf("broker: worker %d replied %v to fetch", n, reply.Type)
+	}
+}
+
+// Migrate moves expert (layer, e) to worker dst, updating the active
+// assignment. The expert's optimizer moments on the source worker are
+// discarded (Adam state restarts on the destination), which matches how
+// production systems commonly handle expert migration.
+func (x *Executor) Migrate(layer, e, dst int) error {
+	src := x.workerOf(layer, e)
+	if src == dst {
+		return nil
+	}
+	if dst < 0 || dst >= len(x.conns) {
+		return fmt.Errorf("broker: migrate destination %d out of range", dst)
+	}
+	payload, err := x.Fetch(layer, e)
+	if err != nil {
+		return err
+	}
+	assignMsg := &wire.Message{
+		Type: wire.MsgAssign, Layer: payload.Layer, Expert: payload.Expert,
+		Seq: x.seq.Add(1), Tensors: payload.Tensors,
+	}
+	conn := x.conns[dst]
+	if err := conn.Send(assignMsg); err != nil {
+		return fmt.Errorf("broker: migrate send to worker %d: %w", dst, err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("broker: migrate recv from worker %d: %w", dst, err)
+	}
+	if reply.Type == wire.MsgError {
+		return fmt.Errorf("broker: worker %d rejected migrated expert: %s", dst, reply.Text)
+	}
+	if reply.Type != wire.MsgAck {
+		return fmt.Errorf("broker: worker %d replied %v to migrated assign", dst, reply.Type)
+	}
+	x.assign.Worker[layer][e] = dst
+	return nil
+}
+
+// Rebalance migrates every expert whose worker differs between the
+// current and the new assignment — VELA's "manipulate the distribution of
+// expert layers at runtime". Returns the number of experts moved. The
+// executor's assignment is updated incrementally, so a mid-way failure
+// leaves a consistent (partially migrated) state.
+func (x *Executor) Rebalance(next *placement.Assignment) (int, error) {
+	if len(next.Worker) != len(x.assign.Worker) {
+		return 0, fmt.Errorf("broker: rebalance geometry mismatch")
+	}
+	moved := 0
+	for l := range next.Worker {
+		if len(next.Worker[l]) != len(x.assign.Worker[l]) {
+			return moved, fmt.Errorf("broker: rebalance geometry mismatch at layer %d", l)
+		}
+		for e, dst := range next.Worker[l] {
+			if x.assign.Worker[l][e] == dst {
+				continue
+			}
+			if err := x.Migrate(l, e, dst); err != nil {
+				return moved, fmt.Errorf("broker: rebalancing L%d/E%d: %w", l, e, err)
+			}
+			moved++
+		}
+	}
+	return moved, nil
+}

@@ -1,0 +1,229 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/moe"
+	"repro/internal/nn"
+	"repro/internal/wire"
+)
+
+// OptimizerKind selects the worker-local optimizer.
+type OptimizerKind int
+
+// Worker optimizer choices.
+const (
+	OptSGD OptimizerKind = iota + 1
+	OptAdamW
+)
+
+// WorkerConfig configures an Expert Manager.
+type WorkerConfig struct {
+	Optimizer OptimizerKind
+	// LR is used when Optimizer is OptSGD.
+	LR float64
+	// AdamW is used when Optimizer is OptAdamW.
+	AdamW nn.AdamWConfig
+}
+
+// DefaultWorkerConfig matches the paper's fine-tuning setup (AdamW with
+// the §V-A hyperparameters).
+func DefaultWorkerConfig() WorkerConfig {
+	return WorkerConfig{Optimizer: OptAdamW, AdamW: nn.PaperAdamWConfig()}
+}
+
+// Worker is one Expert Manager process: it hosts a shard of experts,
+// serves forward/backward requests from the master, and applies local
+// optimizer steps to the trainable (LoRA) parameters of its experts.
+// The zero value is not usable; call NewWorker.
+type Worker struct {
+	ID  int
+	cfg WorkerConfig
+
+	mu      sync.Mutex
+	experts map[moe.ExpertID]*moe.Expert
+	specs   map[moe.ExpertID]ExpertSpec
+	opt     nn.Optimizer
+}
+
+// NewWorker creates an Expert Manager with no experts assigned yet.
+func NewWorker(id int, cfg WorkerConfig) *Worker {
+	return &Worker{
+		ID: id, cfg: cfg,
+		experts: make(map[moe.ExpertID]*moe.Expert),
+		specs:   make(map[moe.ExpertID]ExpertSpec),
+	}
+}
+
+// NumExperts returns the number of experts currently hosted.
+func (w *Worker) NumExperts() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.experts)
+}
+
+// Params returns the parameters of all hosted experts, in a deterministic
+// order is NOT guaranteed; used for checksums only.
+func (w *Worker) params() []*nn.Param {
+	var ps []*nn.Param
+	for _, e := range w.experts {
+		ps = append(ps, e.Params()...)
+	}
+	return ps
+}
+
+// Serve runs the worker's request loop on conn until a shutdown message
+// arrives or the connection fails. It returns nil on clean shutdown.
+func (w *Worker) Serve(conn interface {
+	Send(*wire.Message) error
+	Recv() (*wire.Message, error)
+}) error {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("broker: worker %d recv: %w", w.ID, err)
+		}
+		reply, done := w.handle(msg)
+		if reply != nil {
+			if err := conn.Send(reply); err != nil {
+				return fmt.Errorf("broker: worker %d send: %w", w.ID, err)
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// handle processes one message and returns the reply (nil for none) and
+// whether the serve loop should terminate.
+func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
+	switch msg.Type {
+	case wire.MsgAssign:
+		ex, spec, err := decodeExpert(msg)
+		if err != nil {
+			return errMsg(msg, err), false
+		}
+		w.mu.Lock()
+		w.experts[ex.ID] = ex
+		w.specs[ex.ID] = spec
+		w.opt = nil // parameter set changed; rebuild lazily
+		w.mu.Unlock()
+		return &wire.Message{Type: wire.MsgAck, Layer: msg.Layer, Expert: msg.Expert, Seq: msg.Seq}, false
+
+	case wire.MsgFetch:
+		id := moe.ExpertID{Layer: int(msg.Layer), Expert: int(msg.Expert)}
+		w.mu.Lock()
+		ex, ok := w.experts[id]
+		spec := w.specs[id]
+		if ok {
+			delete(w.experts, id)
+			delete(w.specs, id)
+			w.opt = nil // parameter set changed; rebuild lazily
+		}
+		w.mu.Unlock()
+		if !ok {
+			return errMsg(msg, fmt.Errorf("broker: worker %d does not host %v", w.ID, id)), false
+		}
+		out := encodeExpert(ex, spec)
+		out.Type = wire.MsgFetchResult
+		out.Seq = msg.Seq
+		return out, false
+
+	case wire.MsgForward:
+		out, err := w.runExpert(msg, func(e *moe.Expert) (*wire.Matrix, error) {
+			y := e.Forward(tensorOf(msg.Tensors[0]))
+			m := matrixOf(y)
+			if msg.Tensors[0].Half { // mirror the request's encoding
+				wire.QuantizeHalfInPlace(m.Data)
+				m.Half = true
+			}
+			return &m, nil
+		})
+		if err != nil {
+			return errMsg(msg, err), false
+		}
+		return &wire.Message{Type: wire.MsgForwardResult, Layer: msg.Layer, Expert: msg.Expert,
+			Seq: msg.Seq, Tensors: []wire.Matrix{*out}}, false
+
+	case wire.MsgBackward:
+		out, err := w.runExpert(msg, func(e *moe.Expert) (*wire.Matrix, error) {
+			dx := e.Backward(tensorOf(msg.Tensors[0]))
+			m := matrixOf(dx)
+			if msg.Tensors[0].Half { // mirror the request's encoding
+				wire.QuantizeHalfInPlace(m.Data)
+				m.Half = true
+			}
+			return &m, nil
+		})
+		if err != nil {
+			return errMsg(msg, err), false
+		}
+		return &wire.Message{Type: wire.MsgBackwardResult, Layer: msg.Layer, Expert: msg.Expert,
+			Seq: msg.Seq, Tensors: []wire.Matrix{*out}}, false
+
+	case wire.MsgZeroGrad:
+		w.mu.Lock()
+		for _, e := range w.experts {
+			nn.ZeroGrads(e.Params())
+		}
+		w.mu.Unlock()
+		return &wire.Message{Type: wire.MsgAck, Seq: msg.Seq}, false
+
+	case wire.MsgStep:
+		w.mu.Lock()
+		if w.opt == nil {
+			w.opt = w.buildOptimizer()
+		}
+		w.opt.Step()
+		w.mu.Unlock()
+		return &wire.Message{Type: wire.MsgAck, Seq: msg.Seq}, false
+
+	case wire.MsgStats:
+		w.mu.Lock()
+		sum := checksumParams(w.params())
+		w.mu.Unlock()
+		return &wire.Message{Type: wire.MsgStatsResult, Seq: msg.Seq,
+			Tensors: []wire.Matrix{{Rows: 1, Cols: len(sum), Data: sum}}}, false
+
+	case wire.MsgShutdown:
+		return &wire.Message{Type: wire.MsgAck, Seq: msg.Seq}, true
+
+	default:
+		return errMsg(msg, fmt.Errorf("broker: worker %d: unexpected message %v", w.ID, msg.Type)), false
+	}
+}
+
+// runExpert looks up the target expert and applies fn under the lock.
+func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix, error)) (*wire.Matrix, error) {
+	if len(msg.Tensors) != 1 {
+		return nil, fmt.Errorf("broker: %v message carries %d tensors, want 1", msg.Type, len(msg.Tensors))
+	}
+	id := moe.ExpertID{Layer: int(msg.Layer), Expert: int(msg.Expert)}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.experts[id]
+	if !ok {
+		return nil, fmt.Errorf("broker: worker %d does not host %v", w.ID, id)
+	}
+	return fn(e)
+}
+
+// buildOptimizer constructs the configured optimizer over all trainable
+// expert parameters. Called with w.mu held.
+func (w *Worker) buildOptimizer() nn.Optimizer {
+	ps := w.params()
+	switch w.cfg.Optimizer {
+	case OptSGD:
+		return nn.NewSGD(ps, w.cfg.LR)
+	case OptAdamW:
+		return nn.NewAdamW(ps, w.cfg.AdamW)
+	default:
+		panic(fmt.Sprintf("broker: unknown optimizer kind %d", w.cfg.Optimizer))
+	}
+}
+
+func errMsg(req *wire.Message, err error) *wire.Message {
+	return &wire.Message{Type: wire.MsgError, Layer: req.Layer, Expert: req.Expert, Seq: req.Seq, Text: err.Error()}
+}

@@ -1,0 +1,26 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/moe"
+)
+
+func BenchmarkSaveLoad(b *testing.B) {
+	cfg := moe.Config{Vocab: 96, D: 32, Heads: 4, Hidden: 64, Layers: 4, Experts: 6, TopK: 2}
+	rng := rand.New(rand.NewSource(1))
+	m := moe.NewModel(cfg, rng, true)
+	grid := moe.NewExpertGrid(cfg, rng, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Save(&buf, m, grid); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

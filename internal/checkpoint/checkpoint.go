@@ -1,0 +1,194 @@
+// Package checkpoint serializes pre-trained model states (backbone +
+// expert grid) to a compact binary format, so a manufactured checkpoint
+// can be trained once and reused across experiment runs — the moral
+// equivalent of the paper downloading TinyMistral from HuggingFace.
+//
+// Checkpoints capture the *pre-trained* state: save before attaching LoRA
+// adapters (the adapter layout is a fine-tuning-time choice, recreated by
+// trainer.PrepareForFinetune after loading).
+//
+// Format (little-endian):
+//
+//	magic "VELACKP1"
+//	7 × int32: Vocab, D, Heads, Hidden, Layers, Experts, TopK
+//	int32 paramCount, then per parameter:
+//	  int32 nameLen, name bytes, int32 numel, float64 × numel
+//
+// Parameters are matched positionally against a freshly constructed model
+// of the same configuration, with names verified, so any architecture
+// drift fails loudly instead of silently misloading.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/moe"
+	"repro/internal/nn"
+)
+
+const magic = "VELACKP1"
+
+// allParams returns backbone + expert parameters in deterministic order.
+func allParams(model *moe.Model, grid [][]*moe.Expert) []*nn.Param {
+	ps := model.Params()
+	for _, row := range grid {
+		for _, e := range row {
+			ps = append(ps, e.Params()...)
+		}
+	}
+	return ps
+}
+
+// Save writes the checkpoint to w.
+func Save(w io.Writer, model *moe.Model, grid [][]*moe.Expert) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	cfg := model.Cfg
+	for _, v := range []int{cfg.Vocab, cfg.D, cfg.Heads, cfg.Hidden, cfg.Layers, cfg.Experts, cfg.TopK} {
+		if err := binary.Write(bw, binary.LittleEndian, int32(v)); err != nil {
+			return err
+		}
+	}
+	params := allParams(model, grid)
+	if err := binary.Write(bw, binary.LittleEndian, int32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if hasLoRAName(p.Name) {
+			return fmt.Errorf("checkpoint: refusing to save LoRA state %q; save before PrepareForFinetune", p.Name)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int32(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int32(p.Value.Len())); err != nil {
+			return err
+		}
+		for _, v := range p.Value.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func hasLoRAName(name string) bool {
+	for i := 0; i+6 <= len(name); i++ {
+		if name[i:i+6] == ".lora." {
+			return true
+		}
+	}
+	return false
+}
+
+// Load reads a checkpoint from r, reconstructing the model and expert
+// grid with all parameters trainable (callers freeze / attach LoRA as
+// needed).
+func Load(r io.Reader) (*moe.Model, [][]*moe.Expert, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, nil, fmt.Errorf("checkpoint: bad magic %q", got)
+	}
+	dims := make([]int32, 7)
+	for i := range dims {
+		if err := binary.Read(br, binary.LittleEndian, &dims[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	cfg := moe.Config{
+		Vocab: int(dims[0]), D: int(dims[1]), Heads: int(dims[2]), Hidden: int(dims[3]),
+		Layers: int(dims[4]), Experts: int(dims[5]), TopK: int(dims[6]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+
+	// Weights are overwritten below; the RNG only shapes the skeleton.
+	rng := rand.New(rand.NewSource(1))
+	model := moe.NewModel(cfg, rng, true)
+	grid := moe.NewExpertGrid(cfg, rng, true)
+	params := allParams(model, grid)
+
+	var count int32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, nil, err
+	}
+	if int(count) != len(params) {
+		return nil, nil, fmt.Errorf("checkpoint: file has %d params, architecture has %d", count, len(params))
+	}
+	for i, p := range params {
+		var nameLen int32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, nil, err
+		}
+		if nameLen < 0 || nameLen > 4096 {
+			return nil, nil, fmt.Errorf("checkpoint: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, nil, err
+		}
+		if string(name) != p.Name {
+			return nil, nil, fmt.Errorf("checkpoint: param %d is %q in file, %q in architecture", i, name, p.Name)
+		}
+		var numel int32
+		if err := binary.Read(br, binary.LittleEndian, &numel); err != nil {
+			return nil, nil, err
+		}
+		if int(numel) != p.Value.Len() {
+			return nil, nil, fmt.Errorf("checkpoint: param %q has %d values in file, want %d", p.Name, numel, p.Value.Len())
+		}
+		for j := range p.Value.Data {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, nil, err
+			}
+			p.Value.Data[j] = math.Float64frombits(bits)
+		}
+	}
+	return model, grid, nil
+}
+
+// SaveFile writes the checkpoint to path (atomically via a temp file).
+func SaveFile(path string, model *moe.Model, grid [][]*moe.Expert) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, model, grid); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*moe.Model, [][]*moe.Expert, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,213 @@
+// Package core is the top-level facade of the VELA reproduction: it wires
+// the pieces — MoE model backbone, detached experts, Expert Broker,
+// locality profiling, placement optimization, and traffic accounting —
+// into the workflow the paper describes:
+//
+//  1. load (here: manufacture) a pre-trained MoE checkpoint;
+//  2. pass the fine-tuning dataset through the model once to measure the
+//     expert access-probability matrix P;
+//  3. solve the locality-aware placement LP for the cluster topology;
+//  4. detach the experts onto Expert Manager workers per the placement;
+//  5. fine-tune with LoRA through the broker, counting every byte.
+//
+// Examples and cmd/ binaries build on this package; the underlying pieces
+// remain usable à la carte.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/moe"
+	"repro/internal/nn"
+	"repro/internal/placement"
+	"repro/internal/trainer"
+	"repro/internal/transport"
+)
+
+// Options configures Deploy.
+type Options struct {
+	// Topo describes the (simulated) cluster; one worker is launched per
+	// device. Required.
+	Topo cluster.Topology
+	// Strategy chooses the expert placement; defaults to the paper's
+	// locality-aware LP when nil.
+	Strategy placement.Strategy
+	// Stats is the measured access statistics driving the placement.
+	// Required.
+	Stats *moe.AccessStats
+	// RoutingsPerStep and BitDepth parameterize the placement cost
+	// model; they default to the paper's fine-tuning setup (batch 8,
+	// top-k routings) and 16-bit features.
+	RoutingsPerStep float64
+	BitDepth        int
+	// LoRA carried by the experts (needed to rebuild them worker-side).
+	LoRA trainer.LoRAConfig
+	// Worker selects the Expert Manager optimizer configuration;
+	// defaults to the paper's AdamW.
+	Worker *broker.WorkerConfig
+}
+
+// System is a deployed VELA instance: backbone on the "master" (this
+// process), experts on in-process Expert Manager workers connected
+// through the broker, with byte-level traffic accounting.
+type System struct {
+	Model      *moe.Model
+	Topo       cluster.Topology
+	Assignment *placement.Assignment
+	Exec       *broker.Executor
+	Traffic    *metrics.Traffic
+
+	deployment *broker.LocalDeployment
+	closed     bool
+}
+
+// PlacementProblem builds the §IV-B optimization problem from a topology
+// and measured statistics.
+func PlacementProblem(topo cluster.Topology, stats *moe.AccessStats, routingsPerStep float64, featureSize, bitDepth int) *placement.Problem {
+	return &placement.Problem{
+		Workers:         topo.NumWorkers(),
+		Layers:          stats.Layers,
+		Experts:         stats.Experts,
+		P:               stats.Prob(),
+		Bandwidth:       topo.Bandwidths(),
+		Capacity:        topo.Capacities(),
+		RoutingsPerStep: routingsPerStep,
+		BytesPerToken:   float64(bitDepth) * float64(featureSize) / 8,
+		WorkerNode:      topo.WorkerNodes(),
+		MasterNode:      topo.MasterNode,
+	}
+}
+
+// Deploy detaches the experts of (model, grid) onto freshly started
+// in-process workers according to the chosen placement strategy, and
+// rewires the model's MoE blocks through the Expert Broker.
+//
+// The model and grid are typically a pre-trained checkpoint already
+// prepared for fine-tuning (trainer.PrepareForFinetune). After Deploy,
+// the local grid objects are stale: the authoritative expert weights live
+// on the workers.
+func Deploy(model *moe.Model, grid [][]*moe.Expert, opts Options) (*System, error) {
+	if err := opts.Topo.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cfg := model.Cfg
+	strategy := opts.Strategy
+	if strategy == nil {
+		strategy = placement.LocalityLP{}
+	}
+	if opts.Stats == nil {
+		return nil, fmt.Errorf("core: Options.Stats is required (run trainer.Profile first)")
+	}
+	routings := opts.RoutingsPerStep
+	if routings == 0 {
+		routings = 8 * 224 * float64(cfg.TopK)
+	}
+	bitDepth := opts.BitDepth
+	if bitDepth == 0 {
+		bitDepth = 16
+	}
+	prob := PlacementProblem(opts.Topo, opts.Stats, routings, cfg.D, bitDepth)
+	assign, err := strategy.Place(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: placing experts with %s: %w", strategy.Name(), err)
+	}
+	return DeployWithAssignment(model, grid, assign, opts)
+}
+
+// DeployWithAssignment is Deploy with a pre-computed placement.
+func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placement.Assignment, opts Options) (*System, error) {
+	wcfg := broker.DefaultWorkerConfig()
+	if opts.Worker != nil {
+		wcfg = *opts.Worker
+	}
+	dep := broker.StartLocalWorkers(opts.Topo.NumWorkers(), wcfg)
+	exec := broker.NewExecutor(dep.Conns, assign)
+	crossNode := make([]bool, opts.Topo.NumWorkers())
+	for n := range crossNode {
+		crossNode[n] = opts.Topo.CrossNode(n)
+	}
+	traffic := metrics.NewTraffic(opts.Topo.NumWorkers(), crossNode)
+	exec.Traffic = traffic
+	if opts.BitDepth != 0 {
+		exec.BytesPerValue = float64(opts.BitDepth) / 8
+	}
+	spec := broker.ExpertSpec{
+		D: model.Cfg.D, Hidden: model.Cfg.Hidden,
+		LoRARank: opts.LoRA.Rank, LoRAAlpha: opts.LoRA.Alpha,
+	}
+	if err := exec.Distribute(grid, spec); err != nil {
+		dep.Close()
+		return nil, fmt.Errorf("core: distributing experts: %w", err)
+	}
+	model.SetExecutor(exec)
+	return &System{
+		Model:      model,
+		Topo:       opts.Topo,
+		Assignment: assign,
+		Exec:       exec,
+		Traffic:    traffic,
+		deployment: dep,
+	}, nil
+}
+
+// Finetuner returns a trainer.Finetuner whose expert optimizer control
+// flows through the broker to the workers.
+func (s *System) Finetuner(corpus *data.Corpus, batch, seqLen int, seed int64) *trainer.Finetuner {
+	backbone := nn.CollectTrainable(s.Model.Params())
+	return &trainer.Finetuner{
+		Model:      s.Model,
+		Backbone:   backbone,
+		Opt:        nn.NewAdamW(backbone, nn.PaperAdamWConfig()),
+		Batcher:    data.NewBatcher(corpus, batch, seqLen, seed),
+		ExpertZero: s.Exec.ZeroGrads,
+		ExpertStep: s.Exec.Step,
+	}
+}
+
+// Workers exposes the in-process Expert Managers (diagnostics only).
+func (s *System) Workers() []*broker.Worker { return s.deployment.Workers }
+
+// Conns exposes the master-side connections (diagnostics only).
+func (s *System) Conns() []transport.Conn { return s.deployment.Conns }
+
+// CrossNodeBytes reports the external traffic accumulated so far.
+func (s *System) CrossNodeBytes() int64 { return s.Traffic.CrossNodeBytes() }
+
+// Close shuts the workers down cleanly. Safe to call more than once.
+func (s *System) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.Exec.Shutdown(); err != nil {
+		s.deployment.Close()
+		return fmt.Errorf("core: shutdown: %w", err)
+	}
+	return s.deployment.Wait()
+}
+
+// Rebalance re-solves the placement from fresh access statistics and
+// migrates every expert whose optimal worker changed — VELA's runtime
+// flexibility. It returns the number of experts moved. Expert optimizer
+// moments do not travel with the weights (Adam state restarts on the new
+// host).
+func (s *System) Rebalance(stats *moe.AccessStats, strategy placement.Strategy, routingsPerStep float64, bitDepth int) (int, error) {
+	if strategy == nil {
+		strategy = placement.LocalityLP{}
+	}
+	prob := PlacementProblem(s.Topo, stats, routingsPerStep, s.Model.Cfg.D, bitDepth)
+	next, err := strategy.Place(prob)
+	if err != nil {
+		return 0, fmt.Errorf("core: rebalance placement: %w", err)
+	}
+	moved, err := s.Exec.Rebalance(next)
+	if err != nil {
+		return moved, fmt.Errorf("core: rebalance migration: %w", err)
+	}
+	s.Assignment = s.Exec.Assignment()
+	return moved, nil
+}

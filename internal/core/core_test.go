@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/trainer"
+)
+
+// testTopology has tight capacity (3 experts per device) so placements
+// must spread experts across nodes and cross-node traffic exists.
+func testTopology() cluster.Topology {
+	return cluster.Uniform(3, 1, 3, 100*cluster.GB, 1*cluster.GB)
+}
+
+func buildCheckpoint(t *testing.T) (*moe.Model, [][]*moe.Expert, moe.Config) {
+	t.Helper()
+	cfg := moe.Config{Vocab: data.VocabSize, D: 16, Heads: 2, Hidden: 24, Layers: 2, Experts: 4, TopK: 2}
+	m, grid, err := trainer.BuildPretrained(cfg, 4000,
+		trainer.PretrainConfig{Steps: 15, Batch: 2, SeqLen: 16, LR: 3e-3, AuxCoef: 0.01, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, grid, cfg
+}
+
+func TestDeployAndFinetuneEndToEnd(t *testing.T) {
+	m, grid, _ := buildCheckpoint(t)
+	lora := trainer.LoRAConfig{Rank: 2, Alpha: 4, Seed: 5}
+	trainer.PrepareForFinetune(m, grid, lora)
+
+	corpus := data.Shakespeare(4000)
+	stats, err := trainer.Profile(m, corpus, 4, 2, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(m, grid, Options{
+		Topo:  testTopology(),
+		Stats: stats,
+		LoRA:  lora,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	if err := sys.Assignment.Validate(PlacementProblem(sys.Topo, stats, 100, 16, 16)); err != nil {
+		t.Fatal(err)
+	}
+
+	ft := sys.Finetuner(corpus, 2, 16, 7)
+	if err := ft.Run(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Losses.Len() != 3 {
+		t.Fatalf("losses recorded: %d", ft.Losses.Len())
+	}
+	if sys.Traffic.TotalBytes() == 0 {
+		t.Fatal("no traffic recorded — broker not in the path?")
+	}
+	// Workers 1..2 are cross-node in this topology; some routing should
+	// have reached them.
+	if sys.CrossNodeBytes() == 0 {
+		t.Fatal("no cross-node traffic recorded")
+	}
+	// The deployed workers collectively host every expert.
+	total := 0
+	for _, w := range sys.Workers() {
+		total += w.NumExperts()
+	}
+	if total != 2*4 {
+		t.Fatalf("workers host %d experts, want 8", total)
+	}
+}
+
+func TestDeployWithExplicitStrategy(t *testing.T) {
+	m, grid, _ := buildCheckpoint(t)
+	lora := trainer.LoRAConfig{Rank: 2, Alpha: 4, Seed: 5}
+	trainer.PrepareForFinetune(m, grid, lora)
+	stats, err := trainer.Profile(m, data.WikiText(4000), 3, 2, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(m, grid, Options{
+		Topo:     testTopology(),
+		Strategy: placement.Sequential{},
+		Stats:    stats,
+		LoRA:     lora,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	// Sequential round-robin: first expert of layer 0 on worker 0.
+	if sys.Assignment.Worker[0][0] != 0 {
+		t.Fatalf("unexpected sequential assignment: %v", sys.Assignment.Worker)
+	}
+	if len(sys.Conns()) != 3 {
+		t.Fatalf("conns = %d", len(sys.Conns()))
+	}
+}
+
+func TestDeployRequiresStats(t *testing.T) {
+	m, grid, _ := buildCheckpoint(t)
+	if _, err := Deploy(m, grid, Options{Topo: testTopology()}); err == nil {
+		t.Fatal("Deploy without stats must fail")
+	}
+}
+
+func TestDeployRejectsBadTopology(t *testing.T) {
+	m, grid, _ := buildCheckpoint(t)
+	if _, err := Deploy(m, grid, Options{}); err == nil {
+		t.Fatal("Deploy with empty topology must fail")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	m, grid, _ := buildCheckpoint(t)
+	lora := trainer.LoRAConfig{Rank: 2, Alpha: 4, Seed: 5}
+	trainer.PrepareForFinetune(m, grid, lora)
+	stats, err := trainer.Profile(m, data.Shakespeare(4000), 2, 2, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(m, grid, Options{Topo: testTopology(), Stats: stats, LoRA: lora})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceEndToEnd: deploy with a deliberately poor placement,
+// fine-tune a little, re-profile, rebalance to the LP, and verify the
+// system keeps training with the improved layout.
+func TestRebalanceEndToEnd(t *testing.T) {
+	m, grid, cfg := buildCheckpoint(t)
+	lora := trainer.LoRAConfig{Rank: 2, Alpha: 4, Seed: 5}
+	trainer.PrepareForFinetune(m, grid, lora)
+	corpus := data.Shakespeare(4000)
+	stats, err := trainer.Profile(m, corpus, 4, 2, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(m, grid, Options{
+		Topo:     testTopology(),
+		Strategy: placement.Sequential{}, // start from the non-optimized layout
+		Stats:    stats,
+		LoRA:     lora,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	ft := sys.Finetuner(corpus, 2, 16, 7)
+	if err := ft.Run(2, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	before := append([]int(nil), sys.Assignment.Loads(sys.Topo.NumWorkers())...)
+	moved, err := sys.Rebalance(stats, nil, 2*16*float64(cfg.TopK), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatalf("rebalance moved nothing (loads before: %v)", before)
+	}
+	// Training continues through the new placement.
+	if err := ft.Run(2, nil); err != nil {
+		t.Fatalf("fine-tuning after rebalance: %v", err)
+	}
+	if ft.Losses.Len() != 4 {
+		t.Fatalf("losses = %d", ft.Losses.Len())
+	}
+	// Worker hosting matches the new assignment.
+	for n, w := range sys.Workers() {
+		want := 0
+		for l := range sys.Assignment.Worker {
+			for _, dst := range sys.Assignment.Worker[l] {
+				if dst == n {
+					want++
+				}
+			}
+		}
+		if w.NumExperts() != want {
+			t.Fatalf("worker %d hosts %d, assignment says %d", n, w.NumExperts(), want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package data supplies the fine-tuning corpora of the reproduction.
+//
+// The paper uses Tiny-Shakespeare (for the TinyMistral measurement study)
+// and WikiText / Alpaca (for the Mixtral-scale evaluation). None of those
+// are reachable from an offline, stdlib-only build, so this package
+// generates deterministic synthetic stand-ins with the properties the
+// experiments depend on:
+//
+//   - each corpus is drawn from a distinct set of topical vocabularies, so
+//     a model pre-trained on the mixture develops *specialized experts*,
+//     and fine-tuning on a single corpus exhibits the biased, stable
+//     expert access the paper calls expert locality;
+//   - the text has local structure (templated phrases), so next-token
+//     prediction is learnable by a small model;
+//   - tokenization is byte-level over printable ASCII (vocab 96),
+//     matching moe.TinyMistralConfig.
+package data
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// VocabSize is the tokenizer's vocabulary: printable ASCII (0x20..0x7E)
+// plus a newline bucket, remapped to [0, 96).
+const VocabSize = 96
+
+// Encode maps text to token ids (byte-level).
+func Encode(text string) []int {
+	ids := make([]int, len(text))
+	for i := 0; i < len(text); i++ {
+		ids[i] = tokenOf(text[i])
+	}
+	return ids
+}
+
+func tokenOf(b byte) int {
+	if b == '\n' {
+		return 95
+	}
+	if b < 0x20 || b > 0x7E {
+		return 0 // out-of-range bytes collapse to space
+	}
+	return int(b - 0x20)
+}
+
+// Decode maps token ids back to text (best effort; used by examples).
+func Decode(ids []int) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		switch {
+		case id == 95:
+			sb.WriteByte('\n')
+		case id >= 0 && id < 95:
+			sb.WriteByte(byte(id + 0x20))
+		default:
+			sb.WriteByte('?')
+		}
+	}
+	return sb.String()
+}
+
+// Corpus is a tokenized dataset.
+type Corpus struct {
+	Name   string
+	Tokens []int
+}
+
+// wordBank is one topical vocabulary; corpora mix banks in different
+// proportions, which is what drives expert specialization.
+type wordBank struct {
+	words []string
+}
+
+var (
+	bardBank = wordBank{words: []string{
+		"thou", "thee", "hath", "doth", "wherefore", "hark", "prithee",
+		"king", "crown", "dagger", "ghost", "throne", "sonnet", "verily",
+		"alas", "forsooth", "noble", "villain", "swear", "honour",
+	}}
+	wikiBank = wordBank{words: []string{
+		"the", "system", "century", "region", "population", "university",
+		"founded", "located", "government", "history", "science", "theory",
+		"river", "industry", "language", "empire", "treaty", "economy",
+		"museum", "province",
+	}}
+	chatBank = wordBank{words: []string{
+		"please", "explain", "write", "list", "summarize", "question",
+		"answer", "example", "steps", "response", "instruction", "task",
+		"describe", "compare", "translate", "helpful", "assistant", "user",
+		"input", "output",
+	}}
+)
+
+// sentence emits one templated sentence from a bank.
+func sentence(rng *rand.Rand, bank wordBank, sb *strings.Builder) {
+	n := 4 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(bank.words[rng.Intn(len(bank.words))])
+	}
+	sb.WriteString(".\n")
+}
+
+// generate builds a corpus of approximately size tokens from a mixture of
+// banks with the given weights.
+func generate(name string, seed int64, size int, banks []wordBank, weights []float64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	var sb strings.Builder
+	for sb.Len() < size {
+		r := rng.Float64() * total
+		idx := 0
+		for i, w := range weights {
+			if r < w {
+				idx = i
+				break
+			}
+			r -= w
+		}
+		sentence(rng, banks[idx], &sb)
+	}
+	return &Corpus{Name: name, Tokens: Encode(sb.String()[:size])}
+}
+
+// Shakespeare returns the Tiny-Shakespeare stand-in: almost entirely
+// bard-bank text. Used for the TinyMistral locality measurements
+// (Fig. 3).
+func Shakespeare(size int) *Corpus {
+	return generate("shakespeare", 11, size, []wordBank{bardBank, wikiBank}, []float64{0.95, 0.05})
+}
+
+// WikiText returns the WikiText stand-in: encyclopedic text dominated by
+// one topical bank — the concentrated-access fine-tuning domain.
+func WikiText(size int) *Corpus {
+	return generate("wikitext", 12, size, []wordBank{wikiBank, chatBank}, []float64{0.92, 0.08})
+}
+
+// Alpaca returns the Alpaca stand-in: instruction-style dialogue mixing
+// conversational and factual vocabulary — the diffuse-access domain.
+func Alpaca(size int) *Corpus {
+	return generate("alpaca", 13, size, []wordBank{chatBank, wikiBank, bardBank}, []float64{0.55, 0.3, 0.15})
+}
+
+// Pretrain returns the pre-training mixture: all banks in comparable
+// proportion, the regime in which load-balanced training makes every
+// expert useful somewhere.
+func Pretrain(size int) *Corpus {
+	return generate("pretrain", 14, size, []wordBank{bardBank, wikiBank, chatBank}, []float64{1, 1, 1})
+}
+
+// Batcher cuts a corpus into (input, target) next-token windows.
+type Batcher struct {
+	corpus *Corpus
+	rng    *rand.Rand
+	Batch  int
+	SeqLen int
+}
+
+// NewBatcher builds a batcher with its own deterministic sampling stream.
+func NewBatcher(c *Corpus, batch, seqLen int, seed int64) *Batcher {
+	if len(c.Tokens) < seqLen+2 {
+		panic("data: corpus too small for sequence length")
+	}
+	return &Batcher{corpus: c, rng: rand.New(rand.NewSource(seed)), Batch: batch, SeqLen: seqLen}
+}
+
+// Shape returns the batch geometry (implements trainer.BatchSource).
+func (b *Batcher) Shape() (batch, seqLen int) { return b.Batch, b.SeqLen }
+
+// Next returns the next batch: ids and next-token targets, each
+// batch·seqLen long, flattened row-major.
+func (b *Batcher) Next() (ids, targets []int) {
+	ids = make([]int, 0, b.Batch*b.SeqLen)
+	targets = make([]int, 0, b.Batch*b.SeqLen)
+	for i := 0; i < b.Batch; i++ {
+		start := b.rng.Intn(len(b.corpus.Tokens) - b.SeqLen - 1)
+		ids = append(ids, b.corpus.Tokens[start:start+b.SeqLen]...)
+		targets = append(targets, b.corpus.Tokens[start+1:start+b.SeqLen+1]...)
+	}
+	return ids, targets
+}

@@ -1,0 +1,134 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	text := "Hello, World! 123\n"
+	ids := Encode(text)
+	if got := Decode(ids); got != text {
+		t.Fatalf("round trip = %q, want %q", got, text)
+	}
+	for _, id := range ids {
+		if id < 0 || id >= VocabSize {
+			t.Fatalf("token %d out of vocab", id)
+		}
+	}
+}
+
+func TestEncodeClampsNonPrintable(t *testing.T) {
+	ids := Encode(string([]byte{0x01, 0xFF}))
+	for _, id := range ids {
+		if id != 0 {
+			t.Fatalf("non-printable byte mapped to %d, want 0", id)
+		}
+	}
+}
+
+func TestCorporaDeterministicAndSized(t *testing.T) {
+	a := Shakespeare(5000)
+	b := Shakespeare(5000)
+	if len(a.Tokens) != 5000 || len(b.Tokens) != 5000 {
+		t.Fatalf("sizes: %d, %d", len(a.Tokens), len(b.Tokens))
+	}
+	for i := range a.Tokens {
+		if a.Tokens[i] != b.Tokens[i] {
+			t.Fatal("corpus generation must be deterministic")
+		}
+	}
+}
+
+func TestCorporaAreDistinct(t *testing.T) {
+	// Token distributions of the three fine-tuning corpora must differ
+	// substantially — that's what induces dataset-dependent expert
+	// locality (Fig. 7's "different datasets show different preference").
+	dist := func(c *Corpus) []float64 {
+		d := make([]float64, VocabSize)
+		for _, id := range c.Tokens {
+			d[id]++
+		}
+		for i := range d {
+			d[i] /= float64(len(c.Tokens))
+		}
+		return d
+	}
+	shake := dist(Shakespeare(20000))
+	wiki := dist(WikiText(20000))
+	alpaca := dist(Alpaca(20000))
+	l1 := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			if a[i] > b[i] {
+				s += a[i] - b[i]
+			} else {
+				s += b[i] - a[i]
+			}
+		}
+		return s
+	}
+	if l1(shake, wiki) < 0.2 {
+		t.Fatalf("shakespeare and wikitext too similar: L1=%v", l1(shake, wiki))
+	}
+	if l1(wiki, alpaca) < 0.1 {
+		t.Fatalf("wikitext and alpaca too similar: L1=%v", l1(wiki, alpaca))
+	}
+}
+
+func TestPretrainCoversAllDomains(t *testing.T) {
+	pre := Pretrain(30000)
+	text := Decode(pre.Tokens)
+	for _, marker := range []string{"thou", "university", "instruction"} {
+		if !contains(text, marker) {
+			t.Fatalf("pretrain corpus missing domain marker %q", marker)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBatcherShapesAndTargets(t *testing.T) {
+	c := WikiText(4000)
+	b := NewBatcher(c, 3, 16, 1)
+	ids, targets := b.Next()
+	if len(ids) != 48 || len(targets) != 48 {
+		t.Fatalf("batch sizes: %d, %d", len(ids), len(targets))
+	}
+	// Targets are inputs shifted by one within each row.
+	for row := 0; row < 3; row++ {
+		for i := 0; i < 15; i++ {
+			if targets[row*16+i] != ids[row*16+i+1] {
+				t.Fatalf("target misaligned at row %d pos %d", row, i)
+			}
+		}
+	}
+}
+
+func TestBatcherDeterministic(t *testing.T) {
+	c := Alpaca(4000)
+	b1 := NewBatcher(c, 2, 8, 7)
+	b2 := NewBatcher(c, 2, 8, 7)
+	a1, _ := b1.Next()
+	a2, _ := b2.Next()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("batcher must be deterministic per seed")
+		}
+	}
+}
+
+func TestBatcherPanicsOnTinyCorpus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatcher(&Corpus{Tokens: []int{1, 2}}, 1, 8, 1)
+}

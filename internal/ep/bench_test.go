@@ -1,0 +1,54 @@
+package ep
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/moe"
+	"repro/internal/tensor"
+)
+
+// BenchmarkAllToAll measures one synchronized exchange round among 4
+// in-process ranks — the unit of EP's communication overhead.
+func BenchmarkAllToAll(b *testing.B) {
+	const R = 4
+	g := NewGroup(R)
+	payload := tensor.Full(1, 64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < R; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				out := make([][]*tensor.Tensor, R)
+				for dst := range out {
+					out[dst] = []*tensor.Tensor{payload}
+				}
+				_ = g.AllToAll(r, out)
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkEPEngineStep measures one full EP training step (2 ranks).
+func BenchmarkEPEngineStep(b *testing.B) {
+	cfg := moe.Config{Vocab: 20, D: 16, Heads: 2, Hidden: 24, Layers: 2, Experts: 4, TopK: 2}
+	eng, err := NewEngine(cfg, 2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int, 2*16)
+	targets := make([]int, 2*16)
+	for i := range ids {
+		ids[i] = i % cfg.Vocab
+		targets[i] = (i + 1) % cfg.Vocab
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(ids, targets, 2, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

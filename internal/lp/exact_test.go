@@ -1,0 +1,90 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAgainstVertexEnumeration cross-checks the simplex against exact
+// vertex enumeration on random 2-variable LPs: the optimum of a bounded
+// feasible LP lies at a vertex, and with two variables every vertex is
+// the intersection of two constraint lines (including the axes), so the
+// optimum can be computed by brute force.
+func TestAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		nc := 2 + rng.Intn(4)
+		type row struct{ a, b, c float64 } // a·x + b·y ≤ c
+		rows := make([]row, 0, nc+2)
+		for i := 0; i < nc; i++ {
+			rows = append(rows, row{
+				a: rng.Float64()*4 - 1,
+				b: rng.Float64()*4 - 1,
+				c: rng.Float64() * 10,
+			})
+		}
+		// Box constraints keep the region bounded.
+		rows = append(rows, row{1, 0, 8}, row{0, 1, 8})
+		cx := rng.Float64()*4 - 2
+		cy := rng.Float64()*4 - 2
+
+		// Solver answer.
+		p := &Problem{NumVars: 2, Objective: []float64{cx, cy}}
+		for _, r := range rows {
+			p.AddConstraint([]int{0, 1}, []float64{r.a, r.b}, LE, r.c)
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Brute force: enumerate candidate vertices from all pairs of
+		// tight constraints (including x=0, y=0), keep feasible ones.
+		feasible := func(x, y float64) bool {
+			if x < -1e-7 || y < -1e-7 {
+				return false
+			}
+			for _, r := range rows {
+				if r.a*x+r.b*y > r.c+1e-7 {
+					return false
+				}
+			}
+			return true
+		}
+		lines := append([]row{}, rows...)
+		lines = append(lines, row{1, 0, 0}, row{0, 1, 0}) // axes as equalities
+		best := math.Inf(1)
+		found := false
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				det := lines[i].a*lines[j].b - lines[j].a*lines[i].b
+				if math.Abs(det) < 1e-9 {
+					continue
+				}
+				x := (lines[i].c*lines[j].b - lines[j].c*lines[i].b) / det
+				y := (lines[i].a*lines[j].c - lines[j].a*lines[i].c) / det
+				if feasible(x, y) {
+					found = true
+					if v := cx*x + cy*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if !found {
+			// Region is empty (possible when random rows conflict at the
+			// origin); the solver must agree.
+			if sol.Status == Optimal {
+				t.Fatalf("trial %d: solver found optimum %v in an (apparently) empty region", trial, sol.Objective)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: solver says %v but feasible vertices exist", trial, sol.Status)
+		}
+		if math.Abs(sol.Objective-best) > 1e-6*(1+math.Abs(best)) {
+			t.Fatalf("trial %d: simplex %v vs vertex enumeration %v", trial, sol.Objective, best)
+		}
+	}
+}

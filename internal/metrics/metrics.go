@@ -1,0 +1,189 @@
+// Package metrics provides the measurement plumbing of the reproduction:
+// thread-safe traffic counters for the broker runtime, per-step series for
+// the figures, summary statistics, and a CSV writer for harness output.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// WorkerTraffic accumulates the bytes and token-copies exchanged between
+// the master and one worker.
+type WorkerTraffic struct {
+	BytesToWorker   int64
+	BytesFromWorker int64
+	TokensToWorker  int64
+	TokensFromWoker int64
+	Messages        int64
+}
+
+// Traffic is a thread-safe per-worker traffic meter. Logical bytes are
+// computed by the caller (e.g. tokens × bH/8 at the paper's 16-bit depth)
+// so the meter is agnostic to on-wire encoding.
+type Traffic struct {
+	mu  sync.Mutex
+	per []WorkerTraffic
+	// CrossNode[n] marks workers whose traffic counts as external.
+	crossNode []bool
+}
+
+// NewTraffic allocates a meter for n workers; crossNode flags which
+// workers sit outside the master's node.
+func NewTraffic(n int, crossNode []bool) *Traffic {
+	if crossNode == nil {
+		crossNode = make([]bool, n)
+	}
+	if len(crossNode) != n {
+		panic(fmt.Sprintf("metrics: crossNode length %d, want %d", len(crossNode), n))
+	}
+	return &Traffic{per: make([]WorkerTraffic, n), crossNode: append([]bool(nil), crossNode...)}
+}
+
+// AddToWorker records a master→worker transfer.
+func (t *Traffic) AddToWorker(worker int, tokens, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.per[worker].BytesToWorker += bytes
+	t.per[worker].TokensToWorker += tokens
+	t.per[worker].Messages++
+}
+
+// AddFromWorker records a worker→master transfer.
+func (t *Traffic) AddFromWorker(worker int, tokens, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.per[worker].BytesFromWorker += bytes
+	t.per[worker].TokensFromWoker += tokens
+	t.per[worker].Messages++
+}
+
+// Snapshot returns a copy of the per-worker counters.
+func (t *Traffic) Snapshot() []WorkerTraffic {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]WorkerTraffic(nil), t.per...)
+}
+
+// Reset zeroes all counters.
+func (t *Traffic) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.per {
+		t.per[i] = WorkerTraffic{}
+	}
+}
+
+// TotalBytes returns all bytes exchanged in both directions.
+func (t *Traffic) TotalBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s int64
+	for _, w := range t.per {
+		s += w.BytesToWorker + w.BytesFromWorker
+	}
+	return s
+}
+
+// CrossNodeBytes returns the bytes exchanged with cross-node workers —
+// the paper's "external traffic".
+func (t *Traffic) CrossNodeBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s int64
+	for n, w := range t.per {
+		if t.crossNode[n] {
+			s += w.BytesToWorker + w.BytesFromWorker
+		}
+	}
+	return s
+}
+
+// Series is a named sequence of per-step measurements.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Append adds one measurement.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of measurements.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Summary holds basic statistics of a series.
+type Summary struct {
+	N                   int
+	Mean, Std, Min, Max float64
+}
+
+// Summarize computes summary statistics; an empty series yields zeros.
+func (s *Series) Summarize() Summary {
+	n := len(s.Values)
+	if n == 0 {
+		return Summary{}
+	}
+	sum := 0.0
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, v := range s.Values {
+		sum += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range s.Values {
+		d := v - mean
+		ss += d * d
+	}
+	return Summary{N: n, Mean: mean, Std: math.Sqrt(ss / float64(n)), Min: mn, Max: mx}
+}
+
+// WriteCSV emits the series as columns with a header row; series of
+// unequal length are padded with empty cells.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	maxLen := 0
+	for i, s := range series {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, s.Name); err != nil {
+			return err
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for row := 0; row < maxLen; row++ {
+		for i, s := range series {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if row < len(s.Values) {
+				if _, err := fmt.Fprintf(w, "%g", s.Values[row]); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTrafficCounters(t *testing.T) {
+	tr := NewTraffic(2, []bool{false, true})
+	tr.AddToWorker(0, 10, 100)
+	tr.AddFromWorker(0, 10, 100)
+	tr.AddToWorker(1, 5, 50)
+	if tr.TotalBytes() != 250 {
+		t.Fatalf("TotalBytes = %d, want 250", tr.TotalBytes())
+	}
+	if tr.CrossNodeBytes() != 50 {
+		t.Fatalf("CrossNodeBytes = %d, want 50", tr.CrossNodeBytes())
+	}
+	snap := tr.Snapshot()
+	if snap[0].Messages != 2 || snap[1].TokensToWorker != 5 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+	tr.Reset()
+	if tr.TotalBytes() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTrafficConcurrentSafety(t *testing.T) {
+	tr := NewTraffic(4, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.AddToWorker(i%4, 1, 1)
+				tr.AddFromWorker(i%4, 1, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.TotalBytes() != 1600 {
+		t.Fatalf("TotalBytes = %d, want 1600", tr.TotalBytes())
+	}
+}
+
+func TestTrafficBadCrossNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTraffic(2, []bool{true})
+}
+
+func TestSeriesSummarize(t *testing.T) {
+	s := &Series{Name: "x"}
+	if sum := s.Summarize(); sum.N != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Append(v)
+	}
+	sum := s.Summarize()
+	if sum.N != 8 || sum.Mean != 5 || sum.Min != 2 || sum.Max != 9 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+	if math.Abs(sum.Std-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", sum.Std)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := &Series{Name: "step", Values: []float64{1, 2, 3}}
+	b := &Series{Name: "mb", Values: []float64{8.5, 9.25}}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "step,mb\n1,8.5\n2,9.25\n3,\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+	var empty strings.Builder
+	if err := WriteCSV(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.String() != "" {
+		t.Fatal("no series must write nothing")
+	}
+}

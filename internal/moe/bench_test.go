@@ -1,0 +1,67 @@
+package moe
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// BenchmarkModelForward measures a TinyMistral-geometry forward pass.
+func BenchmarkModelForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := TinyMistralConfig()
+	m := NewModel(cfg, rng, false)
+	m.BindLocalExperts(NewExpertGrid(cfg, rng, false))
+	ids := make([]int, 2*32)
+	for i := range ids {
+		ids[i] = i % cfg.Vocab
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forward(ids, 2, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelTrainStep measures a full training step (fwd+bwd+opt).
+func BenchmarkModelTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := TinyMistralConfig()
+	m := NewModel(cfg, rng, true)
+	exec := m.BindLocalExperts(NewExpertGrid(cfg, rng, true))
+	params := append(m.Params(), exec.Params()...)
+	opt := nn.NewAdamW(params, nn.PaperAdamWConfig())
+	ids := make([]int, 2*32)
+	targets := make([]int, 2*32)
+	for i := range ids {
+		ids[i] = i % cfg.Vocab
+		targets[i] = (i + 1) % cfg.Vocab
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.ZeroGrads(params)
+		logits, err := m.Forward(ids, 2, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, dl := nn.CrossEntropy(logits, targets)
+		if err := m.Backward(dl); err != nil {
+			b.Fatal(err)
+		}
+		opt.Step()
+	}
+}
+
+// BenchmarkGateRouting isolates the router.
+func BenchmarkGateRouting(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGate("g", rng, 32, 8, 2, false)
+	x := tensor.Randn(rng, 1, 256, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Forward(x)
+	}
+}

@@ -1,0 +1,53 @@
+package moe
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Generate produces maxNew tokens autoregressively from the prompt, using
+// temperature sampling (temperature 0 = greedy argmax). The context is
+// re-encoded each step (no KV cache — this reproduction optimizes the
+// training path, not inference), so generation cost is quadratic in
+// length; fine for the demonstration lengths the examples use.
+func (m *Model) Generate(prompt []int, maxNew int, temperature float64, rng *rand.Rand) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("moe: empty prompt")
+	}
+	seq := append([]int(nil), prompt...)
+	probs := make([]float64, m.Cfg.Vocab)
+	for i := 0; i < maxNew; i++ {
+		logits, err := m.Forward(seq, 1, len(seq))
+		if err != nil {
+			return nil, fmt.Errorf("moe: generation step %d: %w", i, err)
+		}
+		last := logits.Row(len(seq) - 1)
+		next := 0
+		if temperature <= 0 {
+			for v := 1; v < len(last); v++ {
+				if last[v] > last[next] {
+					next = v
+				}
+			}
+		} else {
+			scaled := make([]float64, len(last))
+			for v, l := range last {
+				scaled[v] = l / temperature
+			}
+			tensor.SoftmaxInto(probs, scaled)
+			r := rng.Float64()
+			var acc float64
+			for v, p := range probs {
+				acc += p
+				if r < acc {
+					next = v
+					break
+				}
+			}
+		}
+		seq = append(seq, next)
+	}
+	return seq[len(prompt):], nil
+}

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Attention is causal multi-head self-attention. The projections are
+// Linear layers so LoRA adapters can be attached to them exactly as the
+// paper does ("we fine-tuned all the linear layers except for the gating
+// mechanism").
+//
+// Forward takes the flattened token matrix [batch·seqLen, d] plus the
+// batch/sequence geometry, mirroring the paper's observation that MoE
+// blocks flatten [batch, seq, feature] to [batch·seq, feature].
+type Attention struct {
+	Name  string
+	Wq    *Linear
+	Wk    *Linear
+	Wv    *Linear
+	Wo    *Linear
+	Heads int
+
+	d, dh   int
+	batch   int
+	seqLen  int
+	q, k, v *tensor.Tensor
+	att     [][]*tensor.Tensor // [batch][head] -> [T,T] attention weights
+}
+
+// NewAttention builds an attention layer with the given model width and
+// head count; d must be divisible by heads.
+func NewAttention(name string, rng *rand.Rand, d, heads int, trainable bool) *Attention {
+	if d%heads != 0 {
+		panic(fmt.Sprintf("nn: attention width %d not divisible by %d heads", d, heads))
+	}
+	return &Attention{
+		Name:  name,
+		Wq:    NewLinear(name+".wq", rng, d, d, false, trainable),
+		Wk:    NewLinear(name+".wk", rng, d, d, false, trainable),
+		Wv:    NewLinear(name+".wv", rng, d, d, false, trainable),
+		Wo:    NewLinear(name+".wo", rng, d, d, false, trainable),
+		Heads: heads,
+		d:     d,
+		dh:    d / heads,
+	}
+}
+
+// Params implements Module.
+func (a *Attention) Params() []*Param {
+	var ps []*Param
+	for _, l := range []*Linear{a.Wq, a.Wk, a.Wv, a.Wo} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Linears returns the four projection layers, for LoRA attachment.
+func (a *Attention) Linears() []*Linear { return []*Linear{a.Wq, a.Wk, a.Wv, a.Wo} }
+
+// headView copies head h of sequence b out of the flattened [B·T, d]
+// tensor m into a [T, dh] matrix.
+func (a *Attention) headView(m *tensor.Tensor, b, h int) *tensor.Tensor {
+	out := tensor.Zeros(a.seqLen, a.dh)
+	for t := 0; t < a.seqLen; t++ {
+		src := m.Row(b*a.seqLen + t)
+		copy(out.Row(t), src[h*a.dh:(h+1)*a.dh])
+	}
+	return out
+}
+
+// headAccum adds the [T, dh] matrix hm into head h of sequence b of the
+// flattened tensor m.
+func (a *Attention) headAccum(m, hm *tensor.Tensor, b, h int) {
+	for t := 0; t < a.seqLen; t++ {
+		dst := m.Row(b*a.seqLen + t)[h*a.dh : (h+1)*a.dh]
+		src := hm.Row(t)
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+}
+
+// Forward computes causal self-attention over x of shape [batch·seqLen, d].
+func (a *Attention) Forward(x *tensor.Tensor, batch, seqLen int) *tensor.Tensor {
+	if x.Rows() != batch*seqLen || x.Cols() != a.d {
+		panic(fmt.Sprintf("nn: %s got %v, want [%d, %d]", a.Name, x.Shape(), batch*seqLen, a.d))
+	}
+	a.batch, a.seqLen = batch, seqLen
+	a.q = a.Wq.Forward(x)
+	a.k = a.Wk.Forward(x)
+	a.v = a.Wv.Forward(x)
+
+	ctx := tensor.Zeros(batch*seqLen, a.d)
+	scale := 1 / math.Sqrt(float64(a.dh))
+	a.att = make([][]*tensor.Tensor, batch)
+	for b := 0; b < batch; b++ {
+		a.att[b] = make([]*tensor.Tensor, a.Heads)
+		for h := 0; h < a.Heads; h++ {
+			qh := a.headView(a.q, b, h)
+			kh := a.headView(a.k, b, h)
+			vh := a.headView(a.v, b, h)
+			scores := qh.MatMulT(kh).ScaleInPlace(scale)
+			// Causal mask + per-row softmax over the visible prefix.
+			att := tensor.Zeros(seqLen, seqLen)
+			for t := 0; t < seqLen; t++ {
+				tensor.SoftmaxInto(att.Row(t)[:t+1], scores.Row(t)[:t+1])
+			}
+			a.att[b][h] = att
+			a.headAccum(ctx, att.MatMul(vh), b, h)
+		}
+	}
+	return a.Wo.Forward(ctx)
+}
+
+// Backward propagates dy through the attention layer and returns dx.
+func (a *Attention) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if a.att == nil {
+		panic(fmt.Sprintf("nn: %s Backward called before Forward", a.Name))
+	}
+	dctx := a.Wo.Backward(dy)
+	dq := tensor.Zeros(a.batch*a.seqLen, a.d)
+	dk := tensor.Zeros(a.batch*a.seqLen, a.d)
+	dv := tensor.Zeros(a.batch*a.seqLen, a.d)
+	scale := 1 / math.Sqrt(float64(a.dh))
+
+	for b := 0; b < a.batch; b++ {
+		for h := 0; h < a.Heads; h++ {
+			att := a.att[b][h]
+			qh := a.headView(a.q, b, h)
+			kh := a.headView(a.k, b, h)
+			vh := a.headView(a.v, b, h)
+			dch := a.headView(dctx, b, h)
+
+			// ctx_h = att @ v_h
+			datt := dch.MatMulT(vh)
+			dvh := att.TMatMul(dch)
+
+			// Softmax backward per row: ds = att ⊙ (datt − ⟨datt, att⟩).
+			dscores := tensor.Zeros(a.seqLen, a.seqLen)
+			for t := 0; t < a.seqLen; t++ {
+				ar, dar, dsr := att.Row(t), datt.Row(t), dscores.Row(t)
+				var dot float64
+				for s := 0; s <= t; s++ {
+					dot += dar[s] * ar[s]
+				}
+				for s := 0; s <= t; s++ {
+					dsr[s] = ar[s] * (dar[s] - dot)
+				}
+			}
+			dqh := dscores.MatMul(kh).ScaleInPlace(scale)
+			dkh := dscores.TMatMul(qh).ScaleInPlace(scale)
+
+			a.headAccum(dq, dqh, b, h)
+			a.headAccum(dk, dkh, b, h)
+			a.headAccum(dv, dvh, b, h)
+		}
+	}
+	dx := a.Wq.Backward(dq)
+	dx.AddInPlace(a.Wk.Backward(dk))
+	dx.AddInPlace(a.Wv.Backward(dv))
+	a.att, a.q, a.k, a.v = nil, nil, nil, nil
+	return dx
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func BenchmarkLinearForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("l", rng, 64, 64, true, true)
+	x := tensor.Randn(rng, 1, 128, 64)
+	dy := tensor.Randn(rng, 1, 128, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Forward(x)
+		_ = l.Backward(dy)
+	}
+}
+
+func BenchmarkLoRALinearForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear("l", rng, 64, 64, false, true)
+	l.AttachLoRA(rng, 8, 16)
+	x := tensor.Randn(rng, 1, 128, 64)
+	dy := tensor.Randn(rng, 1, 128, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Forward(x)
+		_ = l.Backward(dy)
+	}
+}
+
+func BenchmarkAttentionForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewAttention("a", rng, 32, 4, true)
+	x := tensor.Randn(rng, 1, 2*48, 32)
+	dy := tensor.Randn(rng, 1, 2*48, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Forward(x, 2, 48)
+		_ = a.Backward(dy)
+	}
+}
+
+func BenchmarkSwiGLUForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSwiGLU("s", rng, 32, 64, true)
+	x := tensor.Randn(rng, 1, 128, 32)
+	dy := tensor.Randn(rng, 1, 128, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Forward(x)
+		_ = s.Backward(dy)
+	}
+}
+
+func BenchmarkAdamWStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewParam("w", tensor.Randn(rng, 1, 256, 256), true)
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = rng.NormFloat64()
+	}
+	opt := NewAdamW([]*Param{p}, PaperAdamWConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step()
+	}
+}
+
+func BenchmarkCrossEntropy(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	logits := tensor.Randn(rng, 1, 256, 96)
+	targets := make([]int, 256)
+	for i := range targets {
+		targets[i] = rng.Intn(96)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = CrossEntropy(logits, targets)
+	}
+}

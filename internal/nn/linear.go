@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LoRA is a low-rank adapter (Hu et al., 2021) attached to a Linear layer:
+// the effective weight becomes W + (α/r)·A·B with A ∈ R^{in×r},
+// B ∈ R^{r×out}. Only A and B are trainable; B starts at zero so the
+// adapter is a no-op at initialization, exactly as in the paper's LoRA
+// fine-tuning setup (r=8, α=16).
+type LoRA struct {
+	A     *Param
+	B     *Param
+	Scale float64 // α/r
+
+	xa *tensor.Tensor // cached x@A from the last Forward
+}
+
+// Linear is a dense layer y = x@W (+ bias) with an optional LoRA adapter.
+// When the adapter is present the base weight W is typically frozen and
+// only A/B receive gradients — the parameter-efficient fine-tuning regime
+// the paper evaluates.
+type Linear struct {
+	Name string
+	W    *Param // [in, out]
+	Bias *Param // [out] or nil
+	LoRA *LoRA  // nil when no adapter is attached
+
+	in, out int
+	x       *tensor.Tensor // cached input from the last Forward
+}
+
+// NewLinear constructs a Linear layer with Kaiming-style N(0, 1/in)
+// initialization. bias controls whether an additive bias is allocated.
+func NewLinear(name string, rng *rand.Rand, in, out int, bias, trainable bool) *Linear {
+	l := &Linear{
+		Name: name,
+		W:    NewParam(name+".W", tensor.Randn(rng, 1/math.Sqrt(float64(in)), in, out), trainable),
+		in:   in,
+		out:  out,
+	}
+	if bias {
+		l.Bias = NewParam(name+".bias", tensor.Zeros(out), trainable)
+	}
+	return l
+}
+
+// In returns the input feature size.
+func (l *Linear) In() int { return l.in }
+
+// Out returns the output feature size.
+func (l *Linear) Out() int { return l.out }
+
+// AttachLoRA adds a rank-r adapter with scaling α/r. A is initialized from
+// N(0, 1/in) and B from zero, so the initial adapter output is zero. It
+// freezes the base weight (and bias), matching the fine-tuning setup.
+func (l *Linear) AttachLoRA(rng *rand.Rand, r int, alpha float64) {
+	if r <= 0 {
+		panic(fmt.Sprintf("nn: LoRA rank must be positive, got %d", r))
+	}
+	l.LoRA = &LoRA{
+		A:     NewParam(l.Name+".lora.A", tensor.Randn(rng, 1/math.Sqrt(float64(l.in)), l.in, r), true),
+		B:     NewParam(l.Name+".lora.B", tensor.Zeros(r, l.out), true),
+		Scale: alpha / float64(r),
+	}
+	l.W.Trainable = false
+	if l.Bias != nil {
+		l.Bias.Trainable = false
+	}
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param {
+	ps := []*Param{l.W}
+	if l.Bias != nil {
+		ps = append(ps, l.Bias)
+	}
+	if l.LoRA != nil {
+		ps = append(ps, l.LoRA.A, l.LoRA.B)
+	}
+	return ps
+}
+
+// Forward computes y = x@W (+ bias) (+ LoRA path) for x of shape [n, in].
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Cols() != l.in {
+		panic(fmt.Sprintf("nn: %s expects %d input features, got %d", l.Name, l.in, x.Cols()))
+	}
+	l.x = x
+	y := x.MatMul(l.W.Value)
+	if l.Bias != nil {
+		b := l.Bias.Value.Data
+		for i := 0; i < y.Rows(); i++ {
+			row := y.Row(i)
+			for j := range row {
+				row[j] += b[j]
+			}
+		}
+	}
+	if l.LoRA != nil {
+		l.LoRA.xa = x.MatMul(l.LoRA.A.Value)
+		y.AxpyInPlace(l.LoRA.Scale, l.LoRA.xa.MatMul(l.LoRA.B.Value))
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients given dy = ∂loss/∂y and returns
+// dx = ∂loss/∂x. It must follow a Forward call.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if l.x == nil {
+		panic(fmt.Sprintf("nn: %s Backward called before Forward", l.Name))
+	}
+	x := l.x
+	dx := dy.MatMulT(l.W.Value)
+	if l.W.Trainable {
+		l.W.Grad.AddInPlace(x.TMatMul(dy))
+	}
+	if l.Bias != nil && l.Bias.Trainable {
+		g := l.Bias.Grad.Data
+		for i := 0; i < dy.Rows(); i++ {
+			row := dy.Row(i)
+			for j := range row {
+				g[j] += row[j]
+			}
+		}
+	}
+	if l.LoRA != nil {
+		lr := l.LoRA
+		// d(xa) = scale · dy @ Bᵀ ; dB = scale · xaᵀ @ dy ;
+		// dA = xᵀ @ d(xa) ; dx += d(xa) @ Aᵀ.
+		dxa := dy.MatMulT(lr.B.Value).ScaleInPlace(lr.Scale)
+		if lr.B.Trainable {
+			lr.B.Grad.AxpyInPlace(lr.Scale, lr.xa.TMatMul(dy))
+		}
+		if lr.A.Trainable {
+			lr.A.Grad.AddInPlace(x.TMatMul(dxa))
+		}
+		dx.AddInPlace(dxa.MatMulT(lr.A.Value))
+	}
+	l.x = nil
+	return dx
+}
+
+// EffectiveWeight returns W + scale·A·B as a fresh tensor, i.e. the weight
+// a merged (LoRA-folded) layer would use. Used by equivalence tests.
+func (l *Linear) EffectiveWeight() *tensor.Tensor {
+	w := l.W.Value.Clone()
+	if l.LoRA != nil {
+		w.AxpyInPlace(l.LoRA.Scale, l.LoRA.A.Value.MatMul(l.LoRA.B.Value))
+	}
+	return w
+}

@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// RMSNorm is root-mean-square layer normalization with a learnable gain,
+// the normalization used by Mistral-family backbones:
+//
+//	y_i = g_i · x_i / sqrt(mean_j(x_j²) + eps)
+type RMSNorm struct {
+	Name string
+	Gain *Param // [d]
+	Eps  float64
+
+	x    *tensor.Tensor // cached input
+	rinv []float64      // cached 1/rms per row
+}
+
+// NewRMSNorm constructs an RMSNorm over feature size d with gain
+// initialized to 1.
+func NewRMSNorm(name string, d int, trainable bool) *RMSNorm {
+	return &RMSNorm{
+		Name: name,
+		Gain: NewParam(name+".gain", tensor.Full(1, d), trainable),
+		Eps:  1e-6,
+	}
+}
+
+// Params implements Module.
+func (n *RMSNorm) Params() []*Param { return []*Param{n.Gain} }
+
+// Forward normalizes each row of x ([rows, d]).
+func (n *RMSNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	rows, d := x.Rows(), x.Cols()
+	mustShape(n.Gain.Value, d)
+	n.x = x
+	n.rinv = make([]float64, rows)
+	y := tensor.Zeros(rows, d)
+	g := n.Gain.Value.Data
+	for i := 0; i < rows; i++ {
+		xr := x.Row(i)
+		var ss float64
+		for _, v := range xr {
+			ss += v * v
+		}
+		rinv := 1 / math.Sqrt(ss/float64(d)+n.Eps)
+		n.rinv[i] = rinv
+		yr := y.Row(i)
+		for j, v := range xr {
+			yr[j] = g[j] * v * rinv
+		}
+	}
+	return y
+}
+
+// Backward accumulates the gain gradient and returns dx.
+//
+// With r = rms(x), y_j = g_j·x_j/r:
+//
+//	dx_j = (g_j·dy_j)/r − x_j/(d·r³) · Σ_i dy_i·g_i·x_i
+//	dg_j = Σ_rows dy_j·x_j/r
+func (n *RMSNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if n.x == nil {
+		panic("nn: RMSNorm Backward called before Forward")
+	}
+	x := n.x
+	rows, d := x.Rows(), x.Cols()
+	dx := tensor.Zeros(rows, d)
+	g := n.Gain.Value.Data
+	var gg []float64
+	if n.Gain.Trainable {
+		gg = n.Gain.Grad.Data
+	}
+	for i := 0; i < rows; i++ {
+		xr, dyr, dxr := x.Row(i), dy.Row(i), dx.Row(i)
+		rinv := n.rinv[i]
+		var dot float64
+		for j := 0; j < d; j++ {
+			dot += dyr[j] * g[j] * xr[j]
+		}
+		k := dot * rinv * rinv * rinv / float64(d)
+		for j := 0; j < d; j++ {
+			dxr[j] = dyr[j]*g[j]*rinv - xr[j]*k
+			if gg != nil {
+				gg[j] += dyr[j] * xr[j] * rinv
+			}
+		}
+	}
+	n.x = nil
+	return dx
+}
+
+// Embedding maps token ids to dense rows of a [vocab, d] table.
+type Embedding struct {
+	Name  string
+	Table *Param
+
+	ids []int // cached ids from the last Forward
+}
+
+// NewEmbedding constructs an embedding table initialized from N(0, 0.02²).
+func NewEmbedding(name string, rng interface {
+	NormFloat64() float64
+}, vocab, d int, trainable bool) *Embedding {
+	t := tensor.Zeros(vocab, d)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * 0.02
+	}
+	return &Embedding{Name: name, Table: NewParam(name+".table", t, trainable)}
+}
+
+// Params implements Module.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+// Forward gathers the rows for ids into a [len(ids), d] tensor.
+func (e *Embedding) Forward(ids []int) *tensor.Tensor {
+	d := e.Table.Value.Cols()
+	e.ids = ids
+	y := tensor.Zeros(len(ids), d)
+	for i, id := range ids {
+		copy(y.Row(i), e.Table.Value.Row(id))
+	}
+	return y
+}
+
+// Backward scatters dy back into the table gradient.
+func (e *Embedding) Backward(dy *tensor.Tensor) {
+	if !e.Table.Trainable {
+		e.ids = nil
+		return
+	}
+	for i, id := range e.ids {
+		gr := e.Table.Grad.Row(id)
+		dr := dy.Row(i)
+		for j := range gr {
+			gr[j] += dr[j]
+		}
+	}
+	e.ids = nil
+}

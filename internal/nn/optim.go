@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates trainable parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one optimization update and leaves gradients intact;
+	// callers zero gradients explicitly between steps.
+	Step()
+}
+
+// SGD is plain stochastic gradient descent, w ← w − lr·∇w, the optimizer
+// assumed by Theorem 1 of the paper.
+type SGD struct {
+	LR     float64
+	params []*Param
+}
+
+// NewSGD builds an SGD optimizer over the trainable subset of params.
+func NewSGD(params []*Param, lr float64) *SGD {
+	return &SGD{LR: lr, params: CollectTrainable(params)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step() {
+	for _, p := range o.params {
+		p.Value.AxpyInPlace(-o.LR, p.Grad)
+	}
+}
+
+// AdamWConfig mirrors the paper's fine-tuning hyperparameters: learning
+// rate 3e-5, betas [0.8, 0.999], epsilon 1e-8, weight decay 3e-7.
+type AdamWConfig struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+}
+
+// PaperAdamWConfig returns the exact hyperparameters from §V-A of the
+// paper.
+func PaperAdamWConfig() AdamWConfig {
+	return AdamWConfig{LR: 3e-5, Beta1: 0.8, Beta2: 0.999, Eps: 1e-8, WeightDecay: 3e-7}
+}
+
+// AdamW is the decoupled-weight-decay Adam optimizer.
+type AdamW struct {
+	cfg    AdamWConfig
+	params []*Param
+	m, v   []*tensor.Tensor
+	t      int
+}
+
+// NewAdamW builds an AdamW optimizer over the trainable subset of params.
+func NewAdamW(params []*Param, cfg AdamWConfig) *AdamW {
+	ps := CollectTrainable(params)
+	o := &AdamW{cfg: cfg, params: ps}
+	o.m = make([]*tensor.Tensor, len(ps))
+	o.v = make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		o.m[i] = tensor.Zeros(p.Value.Shape()...)
+		o.v[i] = tensor.Zeros(p.Value.Shape()...)
+	}
+	return o
+}
+
+// Step implements Optimizer.
+func (o *AdamW) Step() {
+	o.t++
+	c := o.cfg
+	bc1 := 1 - math.Pow(c.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(c.Beta2, float64(o.t))
+	for i, p := range o.params {
+		m, v := o.m[i].Data, o.v[i].Data
+		w, g := p.Value.Data, p.Grad.Data
+		for j := range w {
+			m[j] = c.Beta1*m[j] + (1-c.Beta1)*g[j]
+			v[j] = c.Beta2*v[j] + (1-c.Beta2)*g[j]*g[j]
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			w[j] -= c.LR * (mh/(math.Sqrt(vh)+c.Eps) + c.WeightDecay*w[j])
+		}
+	}
+}
+
+// CrossEntropy computes the mean cross-entropy loss of logits [n, vocab]
+// against integer targets, and the gradient ∂loss/∂logits.
+func CrossEntropy(logits *tensor.Tensor, targets []int) (loss float64, dlogits *tensor.Tensor) {
+	n, v := logits.Rows(), logits.Cols()
+	if len(targets) != n {
+		panic("nn: CrossEntropy target length mismatch")
+	}
+	dlogits = tensor.Zeros(n, v)
+	probs := make([]float64, v)
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		tensor.SoftmaxInto(probs, logits.Row(i))
+		tgt := targets[i]
+		p := probs[tgt]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p) * inv
+		dr := dlogits.Row(i)
+		for j := 0; j < v; j++ {
+			dr[j] = probs[j] * inv
+		}
+		dr[tgt] -= inv
+	}
+	return loss, dlogits
+}

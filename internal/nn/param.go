@@ -1,0 +1,102 @@
+// Package nn implements the neural-network substrate of the VELA
+// reproduction: layers with explicit, hand-written forward and backward
+// passes (Linear with optional LoRA adapters, RMSNorm, Embedding, causal
+// multi-head Attention, SwiGLU feed-forward), the SGD and AdamW optimizers,
+// and a cross-entropy loss.
+//
+// Every layer follows the same contract: Forward caches whatever
+// activations its Backward needs, and Backward must be called exactly once
+// after each Forward, with gradients accumulated into the layer's trainable
+// parameters. This mirrors the single forward/backward per fine-tuning step
+// of the paper's training loop.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Param is a single learnable (or frozen) parameter tensor with its
+// gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+	// Trainable controls whether optimizers update this parameter and
+	// whether layers bother accumulating its gradient.
+	Trainable bool
+}
+
+// NewParam allocates a parameter wrapping v with a zeroed gradient.
+func NewParam(name string, v *tensor.Tensor, trainable bool) *Param {
+	return &Param{Name: name, Value: v, Grad: tensor.Zeros(v.Shape()...), Trainable: trainable}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Module is anything that owns parameters.
+type Module interface {
+	// Params returns all parameters of the module, including frozen ones.
+	Params() []*Param
+}
+
+// CollectTrainable filters params down to the trainable subset.
+func CollectTrainable(params []*Param) []*Param {
+	var out []*Param
+	for _, p := range params {
+		if p.Trainable {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ZeroGrads clears the gradients of every parameter in the slice.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters in the slice.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// GradNorm returns the global L2 norm over the gradients of the trainable
+// parameters, used for diagnostics and gradient-flow tests.
+func GradNorm(params []*Param) float64 {
+	var s float64
+	for _, p := range params {
+		if !p.Trainable {
+			continue
+		}
+		for _, g := range p.Grad.Data {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func mustShape(t *tensor.Tensor, want ...int) {
+	got := t.Shape()
+	ok := len(got) == len(want)
+	if ok {
+		for i := range want {
+			if got[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		panic(fmt.Sprintf("nn: shape %v, want %v", got, want))
+	}
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// SwiGLU is the gated feed-forward network used as the expert architecture
+// in Mistral-family MoE models:
+//
+//	y = W2( silu(W1·x) ⊙ (W3·x) )
+//
+// with W1, W3 ∈ R^{d×hidden} and W2 ∈ R^{hidden×d}. All three projections
+// are Linear layers so LoRA adapters can be attached per the fine-tuning
+// configuration.
+type SwiGLU struct {
+	Name string
+	W1   *Linear // gate projection
+	W3   *Linear // up projection
+	W2   *Linear // down projection
+
+	h1, h3, u *tensor.Tensor
+}
+
+// NewSwiGLU builds a SwiGLU FFN with the given model width and hidden
+// width.
+func NewSwiGLU(name string, rng *rand.Rand, d, hidden int, trainable bool) *SwiGLU {
+	return &SwiGLU{
+		Name: name,
+		W1:   NewLinear(name+".w1", rng, d, hidden, false, trainable),
+		W3:   NewLinear(name+".w3", rng, d, hidden, false, trainable),
+		W2:   NewLinear(name+".w2", rng, hidden, d, false, trainable),
+	}
+}
+
+// Params implements Module.
+func (s *SwiGLU) Params() []*Param {
+	var ps []*Param
+	for _, l := range []*Linear{s.W1, s.W3, s.W2} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Linears returns the three projections, for LoRA attachment.
+func (s *SwiGLU) Linears() []*Linear { return []*Linear{s.W1, s.W3, s.W2} }
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Forward computes the SwiGLU transform for x of shape [n, d].
+func (s *SwiGLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	s.h1 = s.W1.Forward(x)
+	s.h3 = s.W3.Forward(x)
+	s.u = tensor.Zeros(s.h1.Shape()...)
+	for i := range s.u.Data {
+		z := s.h1.Data[i]
+		s.u.Data[i] = z * sigmoid(z) * s.h3.Data[i]
+	}
+	return s.W2.Forward(s.u)
+}
+
+// Backward propagates dy and returns dx, accumulating gradients in the
+// three projections.
+func (s *SwiGLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if s.u == nil {
+		panic("nn: SwiGLU Backward called before Forward")
+	}
+	du := s.W2.Backward(dy)
+	dh1 := tensor.Zeros(s.h1.Shape()...)
+	dh3 := tensor.Zeros(s.h3.Shape()...)
+	for i := range du.Data {
+		z := s.h1.Data[i]
+		sg := sigmoid(z)
+		silu := z * sg
+		// d silu/dz = σ(z)·(1 + z·(1−σ(z)))
+		dsilu := sg * (1 + z*(1-sg))
+		dh3.Data[i] = du.Data[i] * silu
+		dh1.Data[i] = du.Data[i] * s.h3.Data[i] * dsilu
+	}
+	dx := s.W1.Backward(dh1)
+	dx.AddInPlace(s.W3.Backward(dh3))
+	s.h1, s.h3, s.u = nil, nil, nil
+	return dx
+}

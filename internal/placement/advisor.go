@@ -1,0 +1,57 @@
+package placement
+
+import "fmt"
+
+// Advice is the outcome of a re-placement analysis.
+type Advice struct {
+	// Current and Proposed are the expected per-step communication times
+	// of the active assignment and a freshly solved one, under the given
+	// (possibly drifted) probability matrix.
+	Current, Proposed float64
+	// Improvement is the relative gain of switching, in [0, 1).
+	Improvement float64
+	// Moves counts the experts that would migrate.
+	Moves int
+	// Next is the proposed assignment.
+	Next *Assignment
+}
+
+// Advise compares the active assignment against a freshly solved
+// placement under the problem's (re-measured) probability matrix. It is
+// the decision function for runtime re-placement: because expert locality
+// is stable (Theorem 1), the expected improvement is normally negligible
+// and the advice is "stay put" — the ablation BenchmarkAblationDrift
+// quantifies this — but a workload change (new dataset) shows up as a
+// large Improvement.
+func Advise(p *Problem, current *Assignment, strategy Strategy) (*Advice, error) {
+	if strategy == nil {
+		strategy = LocalityLP{}
+	}
+	curM, err := Evaluate(p, current)
+	if err != nil {
+		return nil, fmt.Errorf("placement: advising on current assignment: %w", err)
+	}
+	next, err := strategy.Place(p)
+	if err != nil {
+		return nil, fmt.Errorf("placement: advising via %s: %w", strategy.Name(), err)
+	}
+	nextM, err := Evaluate(p, next)
+	if err != nil {
+		return nil, err
+	}
+	moves := 0
+	for l := range next.Worker {
+		for e := range next.Worker[l] {
+			if next.Worker[l][e] != current.Worker[l][e] {
+				moves++
+			}
+		}
+	}
+	return &Advice{
+		Current:     curM.CommTime,
+		Proposed:    nextM.CommTime,
+		Improvement: Improvement(curM.CommTime, nextM.CommTime),
+		Moves:       moves,
+		Next:        next,
+	}, nil
+}

@@ -1,0 +1,58 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func benchProblem(b *testing.B, layers, experts int) *Problem {
+	b.Helper()
+	topo := cluster.PaperTestbed(layers*((experts+5)/6) + 2)
+	rng := rand.New(rand.NewSource(1))
+	P := make([][]float64, layers)
+	for l := range P {
+		P[l] = skewedDist(rng, experts, 4)
+	}
+	return &Problem{
+		Workers: topo.NumWorkers(), Layers: layers, Experts: experts,
+		P: P, Bandwidth: topo.Bandwidths(), Capacity: topo.Capacities(),
+		RoutingsPerStep: 8192, BytesPerToken: 8192,
+		WorkerNode: topo.WorkerNodes(), MasterNode: topo.MasterNode,
+	}
+}
+
+func BenchmarkLocalityLPMixtralScale(b *testing.B) {
+	p := benchProblem(b, 32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (LocalityLP{}).Place(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyMixtralScale(b *testing.B) {
+	p := benchProblem(b, 32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Greedy{}).Place(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	p := benchProblem(b, 32, 8)
+	a, err := Sequential{}.Place(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(p, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

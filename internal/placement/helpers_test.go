@@ -1,0 +1,13 @@
+package placement
+
+import "repro/internal/lp"
+
+// solveForTest exposes the raw LP solution to tests that need the relaxed
+// values.
+func solveForTest(p *lp.Problem) (*lp.Solution, error) {
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	return sol, nil
+}

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+// BenchmarkSimulatedStep measures the simulator's own throughput: one
+// simulated fine-tuning step (sampling + cost model) at Mixtral scale.
+func BenchmarkSimulatedStep(b *testing.B) {
+	cfg := PaperConfig()
+	cfg.Steps = 1
+	prob := cfg.PlacementProblem(workload.MixtralWikiText.Matrix())
+	a, err := placement.Sequential{}.Place(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.MixtralWikiText, cfg.RoutingsPerStep())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunVela(cfg, gen, a, "seq"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatMul(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, n, n)
+	y := Randn(rng, 1, n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.MatMul(y)
+	}
+}
+
+func BenchmarkMatMul32(b *testing.B)  { benchMatMul(b, 32) }
+func BenchmarkMatMul128(b *testing.B) { benchMatMul(b, 128) }
+
+func BenchmarkMatMulT128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 128, 128)
+	y := Randn(rng, 1, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.MatMulT(y)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 1, 256, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.SoftmaxRows()
+	}
+}
+
+func BenchmarkArgTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	v := make([]float64, 8)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ArgTopK(v, 2)
+	}
+}

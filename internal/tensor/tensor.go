@@ -1,0 +1,441 @@
+// Package tensor provides the dense numeric substrate used by every layer
+// of the VELA reproduction: row-major float64 tensors with the small set of
+// operations a transformer forward/backward pass needs (matmul, softmax,
+// elementwise arithmetic, reductions) plus deterministic random
+// initialization.
+//
+// The package is deliberately minimal: it is not a general ndarray library.
+// Shapes are validated eagerly and violations panic, because a shape
+// mismatch is always a programming error in this codebase, never an input
+// error.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major float64 tensor. The zero value is an empty
+// tensor; use New, Zeros or Randn to construct useful ones.
+type Tensor struct {
+	// Data holds the elements in row-major order. Length equals the
+	// product of Shape.
+	Data []float64
+
+	shape []int
+}
+
+// New wraps data in a tensor of the given shape. The data slice is used
+// directly (not copied); it must have exactly prod(shape) elements.
+func New(data []float64, shape ...int) *Tensor {
+	n := numel(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (=%d)", len(data), shape, n))
+	}
+	return &Tensor{Data: data, shape: append([]int(nil), shape...)}
+}
+
+// Zeros returns a zero-filled tensor of the given shape.
+func Zeros(shape ...int) *Tensor {
+	return &Tensor{Data: make([]float64, numel(shape)), shape: append([]int(nil), shape...)}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := Zeros(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Randn returns a tensor with elements drawn i.i.d. from N(0, std²) using
+// the supplied source, so results are reproducible.
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := Zeros(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+func numel(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Rows returns the first dimension of a 2-D tensor.
+func (t *Tensor) Rows() int { t.must2D(); return t.shape[0] }
+
+// Cols returns the second dimension of a 2-D tensor.
+func (t *Tensor) Cols() int { t.must2D(); return t.shape[1] }
+
+func (t *Tensor) must2D() {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: expected 2-D tensor, got shape %v", t.shape))
+	}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Row returns a view (not a copy) of row r of a 2-D tensor.
+func (t *Tensor) Row(r int) []float64 {
+	t.must2D()
+	c := t.shape[1]
+	return t.Data[r*c : (r+1)*c]
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := Zeros(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape of equal element count.
+// The underlying data is shared.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if numel(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &Tensor{Data: t.Data, shape: append([]int(nil), shape...)}
+}
+
+// Zero sets every element of t to zero in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element of t to v in place.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) mustSameShape(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, o.shape))
+	}
+}
+
+// Add returns t + o elementwise as a new tensor.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	t.mustSameShape(o)
+	r := Zeros(t.shape...)
+	for i := range t.Data {
+		r.Data[i] = t.Data[i] + o.Data[i]
+	}
+	return r
+}
+
+// AddInPlace adds o to t elementwise, returning t.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o)
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+	return t
+}
+
+// AxpyInPlace adds alpha*o to t elementwise, returning t.
+func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) *Tensor {
+	t.mustSameShape(o)
+	for i := range t.Data {
+		t.Data[i] += alpha * o.Data[i]
+	}
+	return t
+}
+
+// Sub returns t - o elementwise as a new tensor.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	t.mustSameShape(o)
+	r := Zeros(t.shape...)
+	for i := range t.Data {
+		r.Data[i] = t.Data[i] - o.Data[i]
+	}
+	return r
+}
+
+// Mul returns the elementwise (Hadamard) product t ⊙ o as a new tensor.
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	t.mustSameShape(o)
+	r := Zeros(t.shape...)
+	for i := range t.Data {
+		r.Data[i] = t.Data[i] * o.Data[i]
+	}
+	return r
+}
+
+// Scale returns alpha*t as a new tensor.
+func (t *Tensor) Scale(alpha float64) *Tensor {
+	r := Zeros(t.shape...)
+	for i := range t.Data {
+		r.Data[i] = alpha * t.Data[i]
+	}
+	return r
+}
+
+// ScaleInPlace multiplies every element of t by alpha, returning t.
+func (t *Tensor) ScaleInPlace(alpha float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+	return t
+}
+
+// MatMul returns the matrix product t @ o for 2-D tensors
+// ([n,k] @ [k,m] -> [n,m]). The inner loop is ordered i-k-j so the memory
+// access pattern over both operands is sequential.
+func (t *Tensor) MatMul(o *Tensor) *Tensor {
+	t.must2D()
+	o.must2D()
+	n, k := t.shape[0], t.shape[1]
+	k2, m := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v @ %v", t.shape, o.shape))
+	}
+	r := Zeros(n, m)
+	for i := 0; i < n; i++ {
+		ri := r.Data[i*m : (i+1)*m]
+		ti := t.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			a := ti[p]
+			if a == 0 {
+				continue
+			}
+			op := o.Data[p*m : (p+1)*m]
+			for j := 0; j < m; j++ {
+				ri[j] += a * op[j]
+			}
+		}
+	}
+	return r
+}
+
+// MatMulT returns t @ oᵀ for 2-D tensors ([n,k] @ [m,k]ᵀ -> [n,m]).
+func (t *Tensor) MatMulT(o *Tensor) *Tensor {
+	t.must2D()
+	o.must2D()
+	n, k := t.shape[0], t.shape[1]
+	m, k2 := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch %v @ %vᵀ", t.shape, o.shape))
+	}
+	r := Zeros(n, m)
+	for i := 0; i < n; i++ {
+		ti := t.Data[i*k : (i+1)*k]
+		ri := r.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			oj := o.Data[j*k : (j+1)*k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += ti[p] * oj[p]
+			}
+			ri[j] = s
+		}
+	}
+	return r
+}
+
+// TMatMul returns tᵀ @ o for 2-D tensors ([k,n]ᵀ @ [k,m] -> [n,m]).
+func (t *Tensor) TMatMul(o *Tensor) *Tensor {
+	t.must2D()
+	o.must2D()
+	k, n := t.shape[0], t.shape[1]
+	k2, m := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: tmatmul shape mismatch %vᵀ @ %v", t.shape, o.shape))
+	}
+	r := Zeros(n, m)
+	for p := 0; p < k; p++ {
+		tp := t.Data[p*n : (p+1)*n]
+		op := o.Data[p*m : (p+1)*m]
+		for i := 0; i < n; i++ {
+			a := tp[i]
+			if a == 0 {
+				continue
+			}
+			ri := r.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				ri[j] += a * op[j]
+			}
+		}
+	}
+	return r
+}
+
+// Transpose returns a new tensor holding tᵀ for a 2-D tensor.
+func (t *Tensor) Transpose() *Tensor {
+	t.must2D()
+	n, m := t.shape[0], t.shape[1]
+	r := Zeros(m, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			r.Data[j*n+i] = t.Data[i*m+j]
+		}
+	}
+	return r
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of a 2-D
+// tensor and returns the result as a new tensor.
+func (t *Tensor) SoftmaxRows() *Tensor {
+	t.must2D()
+	r := Zeros(t.shape...)
+	for i := 0; i < t.shape[0]; i++ {
+		SoftmaxInto(r.Row(i), t.Row(i))
+	}
+	return r
+}
+
+// SoftmaxInto writes softmax(src) into dst. dst and src may alias.
+func SoftmaxInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: softmax length mismatch")
+	}
+	maxv := math.Inf(-1)
+	for _, v := range src {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - maxv)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-shaped tensors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	t.mustSameShape(o)
+	var s float64
+	for i := range t.Data {
+		s += t.Data[i] * o.Data[i]
+	}
+	return s
+}
+
+// Norm returns the L2 norm of all elements.
+func (t *Tensor) Norm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for an empty
+// tensor.
+func (t *Tensor) MaxAbs() float64 {
+	var m float64
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgTopK returns the indices of the k largest values of v in descending
+// value order. It is used by the gate to select experts. Ties are broken by
+// lower index to keep routing deterministic.
+func ArgTopK(v []float64, k int) []int {
+	if k > len(v) {
+		panic(fmt.Sprintf("tensor: topk k=%d exceeds length %d", k, len(v)))
+	}
+	idx := make([]int, 0, k)
+	used := make([]bool, len(v))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, x := range v {
+			if used[i] {
+				continue
+			}
+			if best < 0 || x > v[best] {
+				best = i
+			}
+		}
+		used[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+// String renders a compact description of the tensor, suitable for
+// debugging.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}

@@ -1,0 +1,162 @@
+// Package transport provides the reliable, ordered message pipes VELA's
+// master and workers communicate over. Two implementations share the
+// wire codec: an in-process channel transport (tests, single-process
+// deployments, the simulator's functional mode) and a TCP transport for
+// genuinely distributed runs.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Conn is one end of a bidirectional, ordered message pipe.
+type Conn interface {
+	// Send transmits one message. Safe for use by one goroutine at a
+	// time.
+	Send(m *wire.Message) error
+	// Recv blocks for the next incoming message.
+	Recv() (*wire.Message, error)
+	// Close releases the connection; pending and future Recv calls fail.
+	Close() error
+}
+
+// ErrClosed is returned for operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// pipeState is the shared close signal of an in-process pipe: closing
+// either end severs the pipe, like a socket.
+type pipeState struct {
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (s *pipeState) close() { s.once.Do(func() { close(s.closed) }) }
+
+// chanConn is one end of an in-process pipe.
+type chanConn struct {
+	out   chan<- *wire.Message
+	in    <-chan *wire.Message
+	state *pipeState
+}
+
+// Pipe returns two connected in-process endpoints. Messages sent on one
+// are received on the other, in order. The buffer keeps senders from
+// blocking on small bursts.
+func Pipe() (Conn, Conn) {
+	ab := make(chan *wire.Message, 64)
+	ba := make(chan *wire.Message, 64)
+	state := &pipeState{closed: make(chan struct{})}
+	a := &chanConn{out: ab, in: ba, state: state}
+	b := &chanConn{out: ba, in: ab, state: state}
+	return a, b
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(m *wire.Message) error {
+	select {
+	case <-c.state.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.state.closed:
+		return ErrClosed
+	}
+}
+
+// Recv implements Conn.
+func (c *chanConn) Recv() (*wire.Message, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.state.closed:
+		// Drain any message that raced with close.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *chanConn) Close() error {
+	c.state.close()
+	return nil
+}
+
+// tcpConn frames messages over a net.Conn.
+type tcpConn struct {
+	conn net.Conn
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+// NewTCPConn wraps an established net.Conn with the wire framing.
+func NewTCPConn(c net.Conn) Conn {
+	return &tcpConn{conn: c}
+}
+
+// Dial connects to a listening peer.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(c), nil
+}
+
+// Listener accepts wire-framed connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept blocks for the next connection.
+func (l *Listener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Send implements Conn.
+func (t *tcpConn) Send(m *wire.Message) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	return wire.WriteFrame(t.conn, m)
+}
+
+// Recv implements Conn.
+func (t *tcpConn) Recv() (*wire.Message, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	return wire.ReadFrame(t.conn)
+}
+
+// Close implements Conn.
+func (t *tcpConn) Close() error { return t.conn.Close() }

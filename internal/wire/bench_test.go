@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMessage(half bool) *Message {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 64*32)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return &Message{Type: MsgForward, Layer: 3, Expert: 1, Seq: 9,
+		Tensors: []Matrix{{Rows: 64, Cols: 32, Data: data, Half: half}}}
+}
+
+func BenchmarkEncodeFull(b *testing.B) {
+	m := benchMessage(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(m)
+	}
+}
+
+func BenchmarkEncodeHalf(b *testing.B) {
+	m := benchMessage(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(m)
+	}
+}
+
+func BenchmarkDecodeFull(b *testing.B) {
+	body := Encode(benchMessage(false))[4:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

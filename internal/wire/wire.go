@@ -1,0 +1,276 @@
+// Package wire defines the binary message protocol spoken between VELA's
+// master process and its Expert Manager workers: length-prefixed frames
+// carrying typed messages (expert assignment, token batches, expert
+// outputs, gradient batches, optimizer control) with dense float payloads.
+//
+// The framing is deliberately simple — 4-byte little-endian length, 1-byte
+// message type, then a type-specific payload — so both the in-process
+// channel transport and the TCP transport can share one codec.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType discriminates frame payloads.
+type MsgType uint8
+
+// Message types of the broker protocol.
+const (
+	// MsgAssign ships one expert's identity and weights to a worker.
+	MsgAssign MsgType = iota + 1
+	// MsgForward carries routed token features to the worker hosting an
+	// expert (the token dispatcher → token receiver path in Fig. 4).
+	MsgForward
+	// MsgForwardResult returns the expert outputs to the master.
+	MsgForwardResult
+	// MsgBackward carries output gradients to an expert (the gradient
+	// dispatcher path).
+	MsgBackward
+	// MsgBackwardResult returns input gradients to the master.
+	MsgBackwardResult
+	// MsgZeroGrad instructs the worker to clear expert gradients.
+	MsgZeroGrad
+	// MsgStep instructs the worker to run its local optimizer step.
+	MsgStep
+	// MsgAck acknowledges a control message.
+	MsgAck
+	// MsgError reports a worker-side failure.
+	MsgError
+	// MsgShutdown asks the worker to terminate its serve loop.
+	MsgShutdown
+	// MsgStats asks the worker for its parameter/gradient checksums
+	// (used by integration tests and diagnostics).
+	MsgStats
+	// MsgStatsResult returns the checksums.
+	MsgStatsResult
+	// MsgFetch asks the worker to return (and release) an expert's
+	// current weights — the first half of a runtime migration.
+	MsgFetch
+	// MsgFetchResult carries the expert weights back to the master in
+	// MsgAssign layout.
+	MsgFetchResult
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgAssign: "assign", MsgForward: "forward", MsgForwardResult: "forward_result",
+		MsgBackward: "backward", MsgBackwardResult: "backward_result",
+		MsgZeroGrad: "zero_grad", MsgStep: "step", MsgAck: "ack",
+		MsgError: "error", MsgShutdown: "shutdown",
+		MsgStats: "stats", MsgStatsResult: "stats_result",
+		MsgFetch: "fetch", MsgFetchResult: "fetch_result",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is one protocol frame. Fields are used per type:
+//
+//	Assign:          Layer, Expert, Tensors (expert weights in canonical order)
+//	Forward:         Layer, Expert, Seq, Tensors[0] = token batch [n, d]
+//	ForwardResult:   Layer, Expert, Seq, Tensors[0] = outputs [n, d]
+//	Backward:        Layer, Expert, Seq, Tensors[0] = dY [n, d]
+//	BackwardResult:  Layer, Expert, Seq, Tensors[0] = dX [n, d]
+//	ZeroGrad/Step/Ack/Shutdown/Stats: no payload
+//	StatsResult:     Tensors[0] = [1, k] checksum vector
+//	Error:           Text
+type Message struct {
+	Type   MsgType
+	Layer  int32
+	Expert int32
+	Seq    uint64 // request correlation id
+	Text   string
+	// Tensors carries dense matrices as (rows, cols, row-major float64).
+	Tensors []Matrix
+}
+
+// Matrix is a dense row-major float64 payload. When Half is set the
+// values travel as IEEE binary16 on the wire (2 bytes per value instead
+// of 8) — the paper's 16-bit feature exchange — at the cost of ~3 decimal
+// digits of precision.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+	Half       bool
+}
+
+// PayloadFloats returns the total number of float64 values carried.
+func (m *Message) PayloadFloats() int {
+	n := 0
+	for _, t := range m.Tensors {
+		n += len(t.Data)
+	}
+	return n
+}
+
+// ErrFrameTooLarge guards against corrupted length prefixes.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// MaxFrameSize bounds a single frame (1 GiB); real batches are far
+// smaller.
+const MaxFrameSize = 1 << 30
+
+// Encode serializes m into a self-contained frame (including the length
+// prefix).
+func Encode(m *Message) []byte {
+	// Compute body size: type(1) + layer(4) + expert(4) + seq(8) +
+	// textLen(4)+text + ntensors(4) + per tensor
+	// rows(4)+cols(4)+encoding(1)+data.
+	body := 1 + 4 + 4 + 8 + 4 + len(m.Text) + 4
+	for _, t := range m.Tensors {
+		body += 9 // rows, cols, encoding byte
+		if t.Half {
+			body += 2 * len(t.Data)
+		} else {
+			body += 8 * len(t.Data)
+		}
+	}
+	buf := make([]byte, 4+body)
+	binary.LittleEndian.PutUint32(buf, uint32(body))
+	off := 4
+	buf[off] = byte(m.Type)
+	off++
+	binary.LittleEndian.PutUint32(buf[off:], uint32(m.Layer))
+	off += 4
+	binary.LittleEndian.PutUint32(buf[off:], uint32(m.Expert))
+	off += 4
+	binary.LittleEndian.PutUint64(buf[off:], m.Seq)
+	off += 8
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(m.Text)))
+	off += 4
+	copy(buf[off:], m.Text)
+	off += len(m.Text)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(m.Tensors)))
+	off += 4
+	for _, t := range m.Tensors {
+		if t.Rows*t.Cols != len(t.Data) {
+			panic(fmt.Sprintf("wire: matrix %dx%d with %d values", t.Rows, t.Cols, len(t.Data)))
+		}
+		binary.LittleEndian.PutUint32(buf[off:], uint32(t.Rows))
+		off += 4
+		binary.LittleEndian.PutUint32(buf[off:], uint32(t.Cols))
+		off += 4
+		if t.Half {
+			buf[off] = 1
+			off++
+			for _, v := range t.Data {
+				h := Float64ToHalf(v)
+				buf[off] = byte(h)
+				buf[off+1] = byte(h >> 8)
+				off += 2
+			}
+		} else {
+			buf[off] = 0
+			off++
+			for _, v := range t.Data {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+				off += 8
+			}
+		}
+	}
+	return buf
+}
+
+// Decode parses one frame body (without the 4-byte length prefix).
+func Decode(body []byte) (*Message, error) {
+	if len(body) < 25 {
+		return nil, fmt.Errorf("wire: frame body too short (%d bytes)", len(body))
+	}
+	m := &Message{}
+	off := 0
+	m.Type = MsgType(body[off])
+	off++
+	m.Layer = int32(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	m.Expert = int32(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	m.Seq = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	textLen := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if off+textLen > len(body) {
+		return nil, fmt.Errorf("wire: text length %d overruns frame", textLen)
+	}
+	m.Text = string(body[off : off+textLen])
+	off += textLen
+	if off+4 > len(body) {
+		return nil, errors.New("wire: truncated tensor count")
+	}
+	nT := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	for i := 0; i < nT; i++ {
+		if off+8 > len(body) {
+			return nil, errors.New("wire: truncated tensor header")
+		}
+		rows := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		cols := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off >= len(body) {
+			return nil, errors.New("wire: truncated tensor encoding byte")
+		}
+		enc := body[off]
+		off++
+		if enc > 1 {
+			return nil, fmt.Errorf("wire: tensor %d has unknown encoding %d", i, enc)
+		}
+		n := rows * cols
+		width := 8
+		if enc == 1 {
+			width = 2
+		}
+		if rows < 0 || cols < 0 || off+width*n > len(body) {
+			return nil, fmt.Errorf("wire: tensor %d (%dx%d) overruns frame", i, rows, cols)
+		}
+		data := make([]float64, n)
+		if enc == 1 {
+			HalfDecode(body[off:off+2*n], data)
+			off += 2 * n
+		} else {
+			for j := range data {
+				data[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+				off += 8
+			}
+		}
+		m.Tensors = append(m.Tensors, Matrix{Rows: rows, Cols: cols, Data: data, Half: enc == 1})
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in frame", len(body)-off)
+	}
+	return m, nil
+}
+
+// WriteFrame writes a full frame for m to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	buf := Encode(m)
+	if len(buf) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r and decodes it.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: reading %d-byte body: %w", n, err)
+	}
+	return Decode(body)
+}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllFields(t *testing.T) {
+	m := &Message{
+		Type:   MsgForward,
+		Layer:  7,
+		Expert: 3,
+		Seq:    42,
+		Text:   "hello",
+		Tensors: []Matrix{
+			{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}},
+			{Rows: 1, Cols: 1, Data: []float64{math.Pi}},
+		},
+	}
+	got, err := Decode(Encode(m)[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", m, got)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	m := &Message{Type: MsgStep}
+	got, err := Decode(Encode(m)[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgStep || len(got.Tensors) != 0 || got.Text != "" {
+		t.Fatalf("empty message mismatch: %+v", got)
+	}
+}
+
+func TestRoundTripNegativeLayer(t *testing.T) {
+	m := &Message{Type: MsgAck, Layer: -1, Expert: -1}
+	got, err := Decode(Encode(m)[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Layer != -1 || got.Expert != -1 {
+		t.Fatalf("negative ints mangled: %+v", got)
+	}
+}
+
+func TestWriteReadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{
+		{Type: MsgAssign, Layer: 1, Expert: 2, Tensors: []Matrix{{Rows: 1, Cols: 2, Data: []float64{9, 8}}}},
+		{Type: MsgError, Text: "boom"},
+		{Type: MsgShutdown},
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("frame mismatch: %+v vs %+v", want, got)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	m := &Message{Type: MsgForward, Tensors: []Matrix{{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}}}
+	full := Encode(m)[4:]
+	for _, cut := range []int{1, 10, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	m := &Message{Type: MsgAck}
+	body := append(Encode(m)[4:], 0xFF)
+	if _, err := Decode(body); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}
+
+func TestEncodePanicsOnBadMatrix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inconsistent matrix")
+		}
+	}()
+	Encode(&Message{Type: MsgForward, Tensors: []Matrix{{Rows: 2, Cols: 2, Data: []float64{1}}}})
+}
+
+func TestPayloadFloats(t *testing.T) {
+	m := &Message{Tensors: []Matrix{{Rows: 2, Cols: 3, Data: make([]float64, 6)}, {Rows: 1, Cols: 4, Data: make([]float64, 4)}}}
+	if m.PayloadFloats() != 10 {
+		t.Fatalf("PayloadFloats = %d, want 10", m.PayloadFloats())
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for mt := MsgAssign; mt <= MsgFetchResult; mt++ {
+		if s := mt.String(); s == "" || s[0] == 'M' {
+			t.Fatalf("missing name for type %d: %q", mt, s)
+		}
+	}
+	if MsgType(99).String() != "MsgType(99)" {
+		t.Fatal("unknown type formatting wrong")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(layer, expert int32, seq uint64, text string, rows uint8, cols uint8) bool {
+		r, c := int(rows%8), int(cols%8)
+		data := make([]float64, r*c)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		m := &Message{
+			Type: MsgBackward, Layer: layer, Expert: expert, Seq: seq, Text: text,
+			Tensors: []Matrix{{Rows: r, Cols: c, Data: data}},
+		}
+		got, err := Decode(Encode(m)[4:])
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

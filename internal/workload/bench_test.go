@@ -1,0 +1,19 @@
+package workload
+
+import "testing"
+
+func BenchmarkGeneratorStepMixtral(b *testing.B) {
+	g := NewGenerator(MixtralWikiText, 8*224*2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Step()
+	}
+}
+
+func BenchmarkDriftedMatrix(b *testing.B) {
+	base := MixtralWikiText.Matrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DriftedMatrix(base, 6e-5, i+1)
+	}
+}
