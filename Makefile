@@ -1,0 +1,26 @@
+# Development gates for the VELA reproduction. `make check` is the
+# pre-merge bar: the broker's concurrent hot path must stay race-clean.
+
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrent runtime packages (pipelined master, pooled worker,
+# transport) plus everything else under the race detector.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Pre-merge gate: vet + full race-enabled test suite.
+check: vet race

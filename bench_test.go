@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/broker"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/lp"
@@ -233,6 +234,61 @@ func mean(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// --- Broker runtime: pipelined one-to-all exchange ---------------------------
+
+// BenchmarkBrokerManyExpertsPerWorker measures the master↔worker
+// scatter/gather with many experts stacked per worker — the pipelined
+// hot path VELA's one-to-all claim rests on. The serial variant pins the
+// worker executor pool to one goroutine; the pooled variant lets
+// distinct experts on a worker compute concurrently. The tokens/s ratio
+// between the two is the communication/compute overlap win.
+func BenchmarkBrokerManyExpertsPerWorker(b *testing.B) {
+	const (
+		workers = 2
+		experts = 32
+		d       = 64
+		hidden  = 128
+		rows    = 64
+	)
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{{"serial", 1}, {"pooled", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			grid := [][]*moe.Expert{make([]*moe.Expert, experts)}
+			assign := placement.NewAssignment(1, experts)
+			for e := 0; e < experts; e++ {
+				ex := moe.NewExpert(moe.ExpertID{Layer: 0, Expert: e}, rng, d, hidden, false)
+				ex.AttachLoRA(rng, 2, 4)
+				grid[0][e] = ex
+				assign.Worker[0][e] = e % workers
+			}
+			cfg := broker.DefaultWorkerConfig()
+			cfg.Parallelism = bc.parallelism
+			dep := broker.StartLocalWorkers(workers, cfg)
+			exec := broker.NewExecutor(dep.Conns, assign)
+			if err := exec.Distribute(grid, broker.ExpertSpec{D: d, Hidden: hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+				b.Fatal(err)
+			}
+			batches := make(map[int]*tensor.Tensor, experts)
+			for e := 0; e < experts; e++ {
+				batches[e] = tensor.Full(0.1, rows, d)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.ForwardExperts(0, batches); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*experts*rows)/b.Elapsed().Seconds(), "tokens/s")
+			_ = exec.Shutdown()
+			_ = dep.Wait()
+		})
+	}
 }
 
 // --- Micro-benchmarks of the substrates -------------------------------------

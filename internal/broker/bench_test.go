@@ -1,11 +1,17 @@
 package broker
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/moe"
 	"repro/internal/nn"
+	"repro/internal/placement"
 	"repro/internal/tensor"
+	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // BenchmarkBrokeredExchange measures one forward scatter/gather round
@@ -33,6 +39,134 @@ func BenchmarkBrokeredExchange(b *testing.B) {
 	_ = exec.Shutdown()
 	_ = dep.Wait()
 }
+
+// benchManyExpertsPerWorker drives a scatter/gather round with many
+// experts stacked on few workers — the scenario where the pipelined
+// exchange and the worker executor pool matter. parallelism is the
+// worker-side pool width (1 = serial, 0 = GOMAXPROCS).
+func benchManyExpertsPerWorker(b *testing.B, parallelism int) {
+	const (
+		workers = 2
+		experts = 32 // 16 experts per worker
+		d       = 64
+		hidden  = 128
+		rows    = 64
+	)
+	rng := rand.New(rand.NewSource(9))
+	grid := [][]*moe.Expert{make([]*moe.Expert, experts)}
+	assign := placement.NewAssignment(1, experts)
+	for e := 0; e < experts; e++ {
+		ex := moe.NewExpert(moe.ExpertID{Layer: 0, Expert: e}, rng, d, hidden, false)
+		ex.AttachLoRA(rng, 2, 4)
+		grid[0][e] = ex
+		assign.Worker[0][e] = e % workers
+	}
+	cfg := DefaultWorkerConfig()
+	cfg.Parallelism = parallelism
+	dep := StartLocalWorkers(workers, cfg)
+	exec := NewExecutor(dep.Conns, assign)
+	if err := exec.Distribute(grid, ExpertSpec{D: d, Hidden: hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+		b.Fatal(err)
+	}
+	batches := make(map[int]*tensor.Tensor, experts)
+	for e := 0; e < experts; e++ {
+		batches[e] = tensor.Full(0.1, rows, d)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.ForwardExperts(0, batches); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*experts*rows)/b.Elapsed().Seconds(), "tokens/s")
+	_ = exec.Shutdown()
+	_ = dep.Wait()
+}
+
+// BenchmarkManyExpertsPerWorkerSerial pins the worker pool to one
+// executor: the pipelined master with the old fully-serial worker
+// behavior (and the throughput baseline for the overlap win).
+func BenchmarkManyExpertsPerWorkerSerial(b *testing.B) { benchManyExpertsPerWorker(b, 1) }
+
+// BenchmarkManyExpertsPerWorkerPooled lets distinct experts on one
+// worker compute concurrently; the tokens/s ratio over the Serial
+// variant is the communication/compute overlap win.
+func BenchmarkManyExpertsPerWorkerPooled(b *testing.B) { benchManyExpertsPerWorker(b, 0) }
+
+// serveLatencyShim mimics an Expert Manager whose per-request compute is
+// latency-bound (accelerator offload rather than host CPU): a pool of
+// goroutines each sleeps lat per request and echoes the payload back.
+// With pool=1 it behaves like the old fully-serialized worker.
+func serveLatencyShim(conn transport.Conn, pool int, lat time.Duration) {
+	slots := make(chan struct{}, pool)
+	var sendMu sync.Mutex
+	var wg sync.WaitGroup
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			wg.Wait()
+			return
+		}
+		if m.Type == wire.MsgShutdown {
+			wg.Wait()
+			_ = conn.Send(&wire.Message{Type: wire.MsgAck, Seq: m.Seq})
+			return
+		}
+		slots <- struct{}{}
+		wg.Add(1)
+		go func(m *wire.Message) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			time.Sleep(lat)
+			reply := &wire.Message{Type: wire.MsgForwardResult, Layer: m.Layer,
+				Expert: m.Expert, Seq: m.Seq, Tensors: m.Tensors}
+			sendMu.Lock()
+			_ = conn.Send(reply)
+			sendMu.Unlock()
+		}(m)
+	}
+}
+
+// benchLatencyBoundWorker measures a 32-expert scatter/gather against a
+// latency-bound worker. Because requests pipeline (bounded window,
+// Seq-correlated replies), per-expert latency is hidden up to the
+// worker's pool width; a lockstep or serial path pays it 32× per round.
+func benchLatencyBoundWorker(b *testing.B, pool int) {
+	const experts = 32
+	const lat = 500 * time.Microsecond
+	master, workerEnd := transport.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		serveLatencyShim(workerEnd, pool, lat)
+	}()
+	exec := NewExecutor([]transport.Conn{master}, placement.NewAssignment(1, experts))
+	batches := make(map[int]*tensor.Tensor, experts)
+	for e := 0; e < experts; e++ {
+		batches[e] = tensor.Full(0.1, 1, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.ForwardExperts(0, batches); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*experts)/b.Elapsed().Seconds(), "req/s")
+	_ = exec.Shutdown()
+	<-done
+	_ = master.Close()
+}
+
+// BenchmarkOverlapLatencyBoundSerial is the old worker behavior: one
+// request in compute at a time (the single global mutex).
+func BenchmarkOverlapLatencyBoundSerial(b *testing.B) { benchLatencyBoundWorker(b, 1) }
+
+// BenchmarkOverlapLatencyBoundPooled overlaps expert compute across the
+// worker's executor pool; req/s versus the Serial variant is the overlap
+// win, independent of host core count.
+func BenchmarkOverlapLatencyBoundPooled(b *testing.B) { benchLatencyBoundWorker(b, 16) }
 
 // BenchmarkBrokeredFinetuneStep measures a full fine-tuning step through
 // the broker (forward, backward, both optimizers).

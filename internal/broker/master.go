@@ -13,11 +13,27 @@ import (
 	"repro/internal/wire"
 )
 
+// DefaultMaxInFlight is the per-worker in-flight request window used when
+// Executor.MaxInFlight is unset. It bounds master-side memory while
+// keeping every worker's executor pool saturated.
+const DefaultMaxInFlight = 64
+
 // Executor is the master-side half of the Expert Broker: it implements
 // moe.Executor by shipping per-expert token batches to the workers that
 // host them (one-to-all, no all-to-all synchronization) and gathering the
 // results. It also broadcasts optimizer control messages at step
 // boundaries.
+//
+// Requests to each worker are pipelined: a writer goroutine streams
+// requests under a bounded in-flight window while a reader goroutine
+// concurrently collects replies, correlating them by Seq. This keeps the
+// exchange deadlock-free regardless of how many requests target one
+// worker (a send-everything-then-receive scheme wedges once in-flight
+// requests exceed the transport's buffering) and lets worker-side expert
+// compute overlap with the master's sends.
+//
+// An Executor is not safe for concurrent use: callers drive one exchange
+// or control round at a time, exactly as the training loop does.
 type Executor struct {
 	conns  []transport.Conn
 	assign *placement.Assignment
@@ -33,6 +49,9 @@ type Executor struct {
 	// precision per exchanged value. Expert weights (Assign/Fetch) always
 	// travel at full precision.
 	HalfPrecision bool
+	// MaxInFlight bounds how many requests may be outstanding per worker
+	// connection at once. <= 0 selects DefaultMaxInFlight.
+	MaxInFlight int
 
 	seq atomic.Uint64
 }
@@ -55,12 +74,120 @@ func (x *Executor) Assignment() *placement.Assignment { return x.assign }
 // workerOf returns the worker hosting expert e of the given layer.
 func (x *Executor) workerOf(layer, e int) int { return x.assign.Worker[layer][e] }
 
+// window returns the effective per-worker in-flight request bound.
+func (x *Executor) window() int {
+	if x.MaxInFlight > 0 {
+		return x.MaxInFlight
+	}
+	return DefaultMaxInFlight
+}
+
+// pipelined issues msgs to worker n with a bounded in-flight window: a
+// writer goroutine streams the requests (stamping fresh Seq values) while
+// the calling goroutine collects exactly one reply per successful send,
+// matching replies to requests by Seq rather than arrival order.
+//
+// Failure semantics: a worker-side MsgError or an unexpected reply is
+// recorded but the remaining replies are still drained, so the connection
+// stays usable for the next round. Only a transport-level Recv error
+// abandons the connection (nothing more can arrive); a Send error stops
+// the writer but the already-sent requests are still drained.
+//
+// onSent (optional) runs on the writer goroutine after request i is on
+// the wire; onReply runs on the reader for every successfully correlated
+// non-error reply.
+func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), onReply func(i int, reply *wire.Message) error) error {
+	conn := x.conns[n]
+
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	errOut := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr
+	}
+
+	// slots bounds in-flight requests; sent carries one token per
+	// successful send so the reader knows exactly how many replies to
+	// await; abort unblocks the writer when the reader gives up.
+	slots := make(chan struct{}, x.window())
+	sent := make(chan struct{}, len(msgs))
+	abort := make(chan struct{})
+
+	var pendMu sync.Mutex
+	pending := make(map[uint64]int, x.window())
+
+	go func() {
+		defer close(sent)
+		for i, msg := range msgs {
+			select {
+			case slots <- struct{}{}:
+			case <-abort:
+				return
+			}
+			seq := x.seq.Add(1)
+			msg.Seq = seq
+			// Register before Send: the reply may arrive immediately.
+			pendMu.Lock()
+			pending[seq] = i
+			pendMu.Unlock()
+			if err := conn.Send(msg); err != nil {
+				pendMu.Lock()
+				delete(pending, seq)
+				pendMu.Unlock()
+				fail(fmt.Errorf("broker: send to worker %d: %w", n, err))
+				return
+			}
+			if onSent != nil {
+				onSent(i)
+			}
+			sent <- struct{}{}
+		}
+	}()
+
+	for range sent {
+		reply, err := conn.Recv()
+		if err != nil {
+			fail(fmt.Errorf("broker: recv from worker %d: %w", n, err))
+			close(abort)
+			return errOut()
+		}
+		<-slots
+		pendMu.Lock()
+		i, ok := pending[reply.Seq]
+		if ok {
+			delete(pending, reply.Seq)
+		}
+		pendMu.Unlock()
+		if !ok {
+			fail(fmt.Errorf("broker: worker %d sent %v reply with unknown seq %d", n, reply.Type, reply.Seq))
+			continue
+		}
+		if reply.Type == wire.MsgError {
+			fail(fmt.Errorf("broker: worker %d: %s", n, reply.Text))
+			continue
+		}
+		if err := onReply(i, reply); err != nil {
+			fail(err)
+		}
+	}
+	return errOut()
+}
+
 // Distribute ships every expert in the grid to its assigned worker. It is
 // the runtime realization of a placement: called once before fine-tuning
-// starts (and again if the placement changes).
+// starts (and again if the placement changes). Transfers to distinct
+// workers run in parallel and transfers to the same worker are pipelined.
 func (x *Executor) Distribute(grid [][]*moe.Expert, spec ExpertSpec) error {
 	// Group experts per worker so each connection is used by one
-	// goroutine.
+	// writer/reader pair.
 	perWorker := make([][]*moe.Expert, len(x.conns))
 	for l, row := range grid {
 		for e, ex := range row {
@@ -80,22 +207,16 @@ func (x *Executor) Distribute(grid [][]*moe.Expert, spec ExpertSpec) error {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			conn := x.conns[n]
-			for _, ex := range perWorker[n] {
-				if err := conn.Send(encodeExpert(ex, spec)); err != nil {
-					errs[n] = err
-					return
-				}
-				reply, err := conn.Recv()
-				if err != nil {
-					errs[n] = err
-					return
-				}
-				if reply.Type == wire.MsgError {
-					errs[n] = fmt.Errorf("broker: worker %d: %s", n, reply.Text)
-					return
-				}
+			msgs := make([]*wire.Message, len(perWorker[n]))
+			for i, ex := range perWorker[n] {
+				msgs[i] = encodeExpert(ex, spec)
 			}
+			errs[n] = x.pipelined(n, msgs, nil, func(i int, reply *wire.Message) error {
+				if reply.Type != wire.MsgAck {
+					return fmt.Errorf("broker: worker %d replied %v to assign", n, reply.Type)
+				}
+				return nil
+			})
 		}(n)
 	}
 	wg.Wait()
@@ -120,6 +241,9 @@ func (x *Executor) BackwardExperts(layer int, grads map[int]*tensor.Tensor) (map
 }
 
 // exchange performs one one-to-all scatter/gather round for a layer.
+// Per-worker request streams are pipelined (see pipelined), so worker
+// compute overlaps master communication and arbitrarily many experts per
+// worker cannot deadlock the transport.
 func (x *Executor) exchange(layer int, batches map[int]*tensor.Tensor, reqType, respType wire.MsgType) (map[int]*tensor.Tensor, error) {
 	// Group expert batches per worker in deterministic expert order.
 	perWorker := make(map[int][]int)
@@ -153,46 +277,40 @@ func (x *Executor) exchange(layer int, batches map[int]*tensor.Tensor, reqType, 
 		wg.Add(1)
 		go func(n int, experts []int) {
 			defer wg.Done()
-			conn := x.conns[n]
-			for _, e := range experts {
-				b := batches[e]
-				payload := matrixOf(b)
+			msgs := make([]*wire.Message, len(experts))
+			for i, e := range experts {
+				payload := matrixOf(batches[e])
 				payload.Half = x.HalfPrecision
-				msg := &wire.Message{
+				msgs[i] = &wire.Message{
 					Type: reqType, Layer: int32(layer), Expert: int32(e),
-					Seq:     x.seq.Add(1),
 					Tensors: []wire.Matrix{payload},
 				}
-				if err := conn.Send(msg); err != nil {
-					setErr(fmt.Errorf("broker: send to worker %d: %w", n, err))
-					return
-				}
-				if x.Traffic != nil {
+			}
+			var onSent func(int)
+			if x.Traffic != nil {
+				onSent = func(i int) {
+					b := batches[experts[i]]
 					x.Traffic.AddToWorker(n, int64(b.Rows()), int64(float64(b.Len())*x.BytesPerValue))
 				}
 			}
-			for range experts {
-				reply, err := conn.Recv()
-				if err != nil {
-					setErr(fmt.Errorf("broker: recv from worker %d: %w", n, err))
-					return
+			err := x.pipelined(n, msgs, onSent, func(i int, reply *wire.Message) error {
+				if reply.Type != respType {
+					return fmt.Errorf("broker: worker %d sent unexpected %v", n, reply.Type)
 				}
-				switch reply.Type {
-				case respType:
-					out := tensorOf(reply.Tensors[0])
-					mu.Lock()
-					results[int(reply.Expert)] = out
-					mu.Unlock()
-					if x.Traffic != nil {
-						x.Traffic.AddFromWorker(n, int64(out.Rows()), int64(float64(out.Len())*x.BytesPerValue))
-					}
-				case wire.MsgError:
-					setErr(fmt.Errorf("broker: worker %d expert %d: %s", n, reply.Expert, reply.Text))
-					return
-				default:
-					setErr(fmt.Errorf("broker: worker %d sent unexpected %v", n, reply.Type))
-					return
+				if len(reply.Tensors) != 1 {
+					return fmt.Errorf("broker: worker %d %v reply carries %d tensors, want 1", n, reply.Type, len(reply.Tensors))
 				}
+				out := tensorOf(reply.Tensors[0])
+				mu.Lock()
+				results[experts[i]] = out
+				mu.Unlock()
+				if x.Traffic != nil {
+					x.Traffic.AddFromWorker(n, int64(out.Rows()), int64(float64(out.Len())*x.BytesPerValue))
+				}
+				return nil
+			})
+			if err != nil {
+				setErr(err)
 			}
 		}(n, experts)
 	}
@@ -213,20 +331,31 @@ func (x *Executor) Step() error { return x.broadcast(wire.MsgStep) }
 func (x *Executor) Shutdown() error { return x.broadcast(wire.MsgShutdown) }
 
 // Checksums collects per-worker (Σ value, Σ grad, #params) diagnostics.
+// All workers are queried in parallel and worker-side errors are
+// surfaced.
 func (x *Executor) Checksums() ([][]float64, error) {
 	out := make([][]float64, len(x.conns))
-	for n, conn := range x.conns {
-		if err := conn.Send(&wire.Message{Type: wire.MsgStats, Seq: x.seq.Add(1)}); err != nil {
-			return nil, err
-		}
-		reply, err := conn.Recv()
+	var wg sync.WaitGroup
+	errs := make([]error, len(x.conns))
+	for n := range x.conns {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			msgs := []*wire.Message{{Type: wire.MsgStats}}
+			errs[n] = x.pipelined(n, msgs, nil, func(_ int, reply *wire.Message) error {
+				if reply.Type != wire.MsgStatsResult || len(reply.Tensors) != 1 {
+					return fmt.Errorf("broker: bad stats reply from worker %d: %v", n, reply.Type)
+				}
+				out[n] = reply.Tensors[0].Data
+				return nil
+			})
+		}(n)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if reply.Type != wire.MsgStatsResult || len(reply.Tensors) != 1 {
-			return nil, fmt.Errorf("broker: bad stats reply from worker %d: %v", n, reply.Type)
-		}
-		out[n] = reply.Tensors[0].Data
 	}
 	return out, nil
 }
@@ -238,21 +367,13 @@ func (x *Executor) broadcast(t wire.MsgType) error {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			conn := x.conns[n]
-			if err := conn.Send(&wire.Message{Type: t, Seq: x.seq.Add(1)}); err != nil {
-				errs[n] = err
-				return
-			}
-			reply, err := conn.Recv()
-			if err != nil {
-				errs[n] = err
-				return
-			}
-			if reply.Type == wire.MsgError {
-				errs[n] = fmt.Errorf("broker: worker %d: %s", n, reply.Text)
-			} else if reply.Type != wire.MsgAck {
-				errs[n] = fmt.Errorf("broker: worker %d replied %v to %v", n, reply.Type, t)
-			}
+			msgs := []*wire.Message{{Type: t}}
+			errs[n] = x.pipelined(n, msgs, nil, func(_ int, reply *wire.Message) error {
+				if reply.Type != wire.MsgAck {
+					return fmt.Errorf("broker: worker %d replied %v to %v", n, reply.Type, t)
+				}
+				return nil
+			})
 		}(n)
 	}
 	wg.Wait()

@@ -9,30 +9,30 @@ import (
 
 // Fetch retrieves expert (layer, e) from the worker currently hosting it,
 // removing it there, and returns the raw weight payload (MsgAssign
-// layout). It is the first half of a runtime migration.
+// layout). It is the first half of a runtime migration. The request goes
+// through the same Seq-correlated pipeline as every other exchange.
 func (x *Executor) Fetch(layer, e int) (*wire.Message, error) {
 	n := x.workerOf(layer, e)
-	conn := x.conns[n]
-	if err := conn.Send(&wire.Message{Type: wire.MsgFetch, Layer: int32(layer), Expert: int32(e), Seq: x.seq.Add(1)}); err != nil {
-		return nil, fmt.Errorf("broker: fetch send to worker %d: %w", n, err)
-	}
-	reply, err := conn.Recv()
+	var payload *wire.Message
+	err := x.pipelined(n, []*wire.Message{
+		{Type: wire.MsgFetch, Layer: int32(layer), Expert: int32(e)},
+	}, nil, func(_ int, reply *wire.Message) error {
+		if reply.Type != wire.MsgFetchResult {
+			return fmt.Errorf("broker: worker %d replied %v to fetch", n, reply.Type)
+		}
+		payload = reply
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("broker: fetch recv from worker %d: %w", n, err)
+		return nil, err
 	}
-	switch reply.Type {
-	case wire.MsgFetchResult:
-		return reply, nil
-	case wire.MsgError:
-		return nil, fmt.Errorf("broker: worker %d: %s", n, reply.Text)
-	default:
-		return nil, fmt.Errorf("broker: worker %d replied %v to fetch", n, reply.Type)
-	}
+	return payload, nil
 }
 
 // Migrate moves expert (layer, e) to worker dst, updating the active
-// assignment. The expert's optimizer moments on the source worker are
-// discarded (Adam state restarts on the destination), which matches how
+// assignment. The source worker's optimizer keeps the moments of the
+// experts that stay behind (see Worker's optimizer rebinding); the moved
+// expert's own moments restart on the destination, which matches how
 // production systems commonly handle expert migration.
 func (x *Executor) Migrate(layer, e, dst int) error {
 	src := x.workerOf(layer, e)
@@ -48,21 +48,16 @@ func (x *Executor) Migrate(layer, e, dst int) error {
 	}
 	assignMsg := &wire.Message{
 		Type: wire.MsgAssign, Layer: payload.Layer, Expert: payload.Expert,
-		Seq: x.seq.Add(1), Tensors: payload.Tensors,
+		Tensors: payload.Tensors,
 	}
-	conn := x.conns[dst]
-	if err := conn.Send(assignMsg); err != nil {
-		return fmt.Errorf("broker: migrate send to worker %d: %w", dst, err)
-	}
-	reply, err := conn.Recv()
+	err = x.pipelined(dst, []*wire.Message{assignMsg}, nil, func(_ int, reply *wire.Message) error {
+		if reply.Type != wire.MsgAck {
+			return fmt.Errorf("broker: worker %d replied %v to migrated assign", dst, reply.Type)
+		}
+		return nil
+	})
 	if err != nil {
-		return fmt.Errorf("broker: migrate recv from worker %d: %w", dst, err)
-	}
-	if reply.Type == wire.MsgError {
-		return fmt.Errorf("broker: worker %d rejected migrated expert: %s", dst, reply.Text)
-	}
-	if reply.Type != wire.MsgAck {
-		return fmt.Errorf("broker: worker %d replied %v to migrated assign", dst, reply.Type)
+		return err
 	}
 	x.assign.Worker[layer][e] = dst
 	return nil

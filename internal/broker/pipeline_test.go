@@ -1,0 +1,435 @@
+package broker
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// singleWorkerGrid builds one layer of nExperts tiny experts, all assigned
+// to worker 0.
+func singleWorkerGrid(nExperts int) ([][]*moe.Expert, *placement.Assignment, ExpertSpec) {
+	rng := rand.New(rand.NewSource(17))
+	grid := [][]*moe.Expert{make([]*moe.Expert, nExperts)}
+	for e := 0; e < nExperts; e++ {
+		ex := moe.NewExpert(moe.ExpertID{Layer: 0, Expert: e}, rng, 4, 6, false)
+		ex.AttachLoRA(rng, 2, 4)
+		grid[0][e] = ex
+	}
+	assign := placement.NewAssignment(1, nExperts) // all default to worker 0
+	return grid, assign, ExpertSpec{D: 4, Hidden: 6, LoRARank: 2, LoRAAlpha: 4}
+}
+
+// TestManyInFlightSingleWorkerDoesNotDeadlock is the regression test for
+// the send-then-recv deadlock: once a worker receives more in-flight
+// requests than the transport buffers (~128 messages on the in-process
+// pipe), a master that performs all Sends before any Recv wedges against
+// the worker's full reply queue. The pipelined exchange must complete a
+// 300-expert scatter/gather to one worker — both directions — well within
+// the timeout.
+func TestManyInFlightSingleWorkerDoesNotDeadlock(t *testing.T) {
+	const experts = 300 // > 2×64 pipe buffering, and ≥ 256 in-flight
+	grid, assign, spec := singleWorkerGrid(experts)
+	dep := StartLocalWorkers(1, DefaultWorkerConfig())
+	exec := NewExecutor(dep.Conns, assign)
+	exec.MaxInFlight = experts // the full burst is outstanding at once
+
+	done := make(chan error, 1)
+	go func() {
+		if err := exec.Distribute(grid, spec); err != nil {
+			done <- err
+			return
+		}
+		batches := make(map[int]*tensor.Tensor, experts)
+		for e := 0; e < experts; e++ {
+			batches[e] = tensor.Full(0.1, 2, 4)
+		}
+		out, err := exec.ForwardExperts(0, batches)
+		if err != nil {
+			done <- err
+			return
+		}
+		if len(out) != experts {
+			t.Errorf("forward returned %d outputs, want %d", len(out), experts)
+		}
+		grads := make(map[int]*tensor.Tensor, experts)
+		for e := 0; e < experts; e++ {
+			grads[e] = tensor.Full(0.01, 2, 4)
+		}
+		back, err := exec.BackwardExperts(0, grads)
+		if err != nil {
+			done <- err
+			return
+		}
+		if len(back) != experts {
+			t.Errorf("backward returned %d gradients, want %d", len(back), experts)
+		}
+		done <- exec.Shutdown()
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("scatter/gather with 300 in-flight requests deadlocked")
+	}
+	if err := dep.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reverseShim serves one pipe endpoint like a worker, but buffers every
+// forward/backward request of a round and answers in REVERSE Seq order,
+// scaling each input by (expert index + 1) so results are attributable.
+// rounds counts exchanges of n requests each; a shutdown is acked last.
+func reverseShim(t *testing.T, conn transport.Conn, n, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		reqs := make([]*wire.Message, 0, n)
+		for i := 0; i < n; i++ {
+			m, err := conn.Recv()
+			if err != nil {
+				t.Errorf("shim recv: %v", err)
+				return
+			}
+			reqs = append(reqs, m)
+		}
+		for i := len(reqs) - 1; i >= 0; i-- {
+			req := reqs[i]
+			respType := wire.MsgForwardResult
+			if req.Type == wire.MsgBackward {
+				respType = wire.MsgBackwardResult
+			}
+			in := req.Tensors[0]
+			out := wire.Matrix{Rows: in.Rows, Cols: in.Cols, Data: make([]float64, len(in.Data))}
+			for j, v := range in.Data {
+				out.Data[j] = v * float64(req.Expert+1)
+			}
+			reply := &wire.Message{Type: respType, Layer: req.Layer, Expert: req.Expert,
+				Seq: req.Seq, Tensors: []wire.Matrix{out}}
+			if err := conn.Send(reply); err != nil {
+				t.Errorf("shim send: %v", err)
+				return
+			}
+		}
+	}
+	m, err := conn.Recv()
+	if err != nil || m.Type != wire.MsgShutdown {
+		t.Errorf("shim expected shutdown, got %v, %v", m, err)
+		return
+	}
+	_ = conn.Send(&wire.Message{Type: wire.MsgAck, Seq: m.Seq})
+}
+
+// TestOutOfOrderRepliesAreCorrelatedBySeq: a worker that answers requests
+// in reverse Seq order must still produce correct per-expert
+// ForwardExperts/BackwardExperts results — replies are matched by Seq,
+// not arrival order.
+func TestOutOfOrderRepliesAreCorrelatedBySeq(t *testing.T) {
+	const experts = 8
+	master, workerEnd := transport.Pipe()
+	shimDone := make(chan struct{})
+	go func() {
+		defer close(shimDone)
+		reverseShim(t, workerEnd, experts, 2)
+	}()
+
+	exec := NewExecutor([]transport.Conn{master}, placement.NewAssignment(1, experts))
+	// The shim replies only once the whole round is buffered, so every
+	// request must be allowed in flight at once.
+	exec.MaxInFlight = experts
+
+	batches := make(map[int]*tensor.Tensor, experts)
+	for e := 0; e < experts; e++ {
+		batches[e] = tensor.Full(float64(e+1), 1, 2)
+	}
+	out, err := exec.ForwardExperts(0, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < experts; e++ {
+		want := float64(e+1) * float64(e+1)
+		if out[e] == nil || out[e].Data[0] != want {
+			t.Fatalf("forward expert %d: got %v, want %v", e, out[e], want)
+		}
+	}
+
+	back, err := exec.BackwardExperts(0, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < experts; e++ {
+		want := float64(e+1) * float64(e+1)
+		if back[e] == nil || back[e].Data[0] != want {
+			t.Fatalf("backward expert %d: got %v, want %v", e, back[e], want)
+		}
+	}
+	if err := exec.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	<-shimDone
+}
+
+// applyTrainingRound drives one forward/backward/step round for expert
+// e0 directly through the worker's message handler.
+func applyTrainingRound(t *testing.T, w *Worker, x, dy *wire.Matrix) {
+	t.Helper()
+	fwd := &wire.Message{Type: wire.MsgForward, Layer: 0, Expert: 0,
+		Tensors: []wire.Matrix{*x}}
+	if reply, _ := w.handle(fwd); reply.Type != wire.MsgForwardResult {
+		t.Fatalf("forward failed: %v %s", reply.Type, reply.Text)
+	}
+	bwd := &wire.Message{Type: wire.MsgBackward, Layer: 0, Expert: 0,
+		Tensors: []wire.Matrix{*dy}}
+	if reply, _ := w.handle(bwd); reply.Type != wire.MsgBackwardResult {
+		t.Fatalf("backward failed: %v %s", reply.Type, reply.Text)
+	}
+	if reply, _ := w.handle(&wire.Message{Type: wire.MsgStep}); reply.Type != wire.MsgAck {
+		t.Fatalf("step failed: %v", reply.Type)
+	}
+	if reply, _ := w.handle(&wire.Message{Type: wire.MsgZeroGrad}); reply.Type != wire.MsgAck {
+		t.Fatalf("zero-grad failed: %v", reply.Type)
+	}
+}
+
+// TestMigrationPreservesOptimizerState: fetching one expert off a worker
+// must not discard the AdamW moment estimates of the experts that stay.
+// A worker hosting {e0, e1} that loses e1 mid-training must keep updating
+// e0 exactly like a control worker that hosted only e0 all along.
+func TestMigrationPreservesOptimizerState(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	spec := ExpertSpec{D: 4, Hidden: 6, LoRARank: 2, LoRAAlpha: 4}
+	mkExpert := func(e int, seed int64) *moe.Expert {
+		r := rand.New(rand.NewSource(seed))
+		ex := moe.NewExpert(moe.ExpertID{Layer: 0, Expert: e}, r, spec.D, spec.Hidden, false)
+		ex.AttachLoRA(r, spec.LoRARank, spec.LoRAAlpha)
+		return ex
+	}
+
+	subject := NewWorker(0, DefaultWorkerConfig())
+	control := NewWorker(1, DefaultWorkerConfig())
+	for _, w := range []*Worker{subject, control} {
+		if reply, _ := w.handle(encodeExpert(mkExpert(0, 41), spec)); reply.Type != wire.MsgAck {
+			t.Fatalf("assign e0: %v", reply.Type)
+		}
+	}
+	// Only the subject hosts e1.
+	if reply, _ := subject.handle(encodeExpert(mkExpert(1, 42), spec)); reply.Type != wire.MsgAck {
+		t.Fatalf("assign e1: %v", reply.Type)
+	}
+
+	x := wire.Matrix{Rows: 2, Cols: 4, Data: make([]float64, 8)}
+	dy := wire.Matrix{Rows: 2, Cols: 4, Data: make([]float64, 8)}
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+		dy.Data[i] = rng.NormFloat64()
+	}
+
+	// Round 1 builds nonzero AdamW moments for e0 on both workers.
+	applyTrainingRound(t, subject, &x, &dy)
+	applyTrainingRound(t, control, &x, &dy)
+
+	// Migrate e1 away from the subject (the first half of a migration).
+	fetch := &wire.Message{Type: wire.MsgFetch, Layer: 0, Expert: 1}
+	if reply, _ := subject.handle(fetch); reply.Type != wire.MsgFetchResult {
+		t.Fatalf("fetch e1: %v %s", reply.Type, reply.Text)
+	}
+
+	// Round 2: if the fetch reset optimizer state, the subject's e0 now
+	// diverges from the control (fresh moments + restarted bias
+	// correction).
+	applyTrainingRound(t, subject, &x, &dy)
+	applyTrainingRound(t, control, &x, &dy)
+
+	get := func(w *Worker) []wire.Matrix {
+		reply, _ := w.handle(&wire.Message{Type: wire.MsgFetch, Layer: 0, Expert: 0})
+		if reply.Type != wire.MsgFetchResult {
+			t.Fatalf("fetch e0: %v %s", reply.Type, reply.Text)
+		}
+		return reply.Tensors
+	}
+	subjTensors, ctrlTensors := get(subject), get(control)
+	if len(subjTensors) != len(ctrlTensors) {
+		t.Fatalf("tensor count mismatch: %d vs %d", len(subjTensors), len(ctrlTensors))
+	}
+	for i := range subjTensors {
+		for j := range subjTensors[i].Data {
+			if s, c := subjTensors[i].Data[j], ctrlTensors[i].Data[j]; s != c {
+				t.Fatalf("optimizer state lost across migration: tensor %d value %d differs (%.18g vs %.18g)",
+					i, j, s, c)
+			}
+		}
+	}
+}
+
+// TestMigrationAlsoPreservesStateOnAssign: the incoming half of a
+// migration (a new Assign) must not reset the moments of already-hosted
+// experts either.
+func TestMigrationAlsoPreservesStateOnAssign(t *testing.T) {
+	spec := ExpertSpec{D: 4, Hidden: 6, LoRARank: 2, LoRAAlpha: 4}
+	mkExpert := func(e int, seed int64) *moe.Expert {
+		r := rand.New(rand.NewSource(seed))
+		ex := moe.NewExpert(moe.ExpertID{Layer: 0, Expert: e}, r, spec.D, spec.Hidden, false)
+		ex.AttachLoRA(r, spec.LoRARank, spec.LoRAAlpha)
+		return ex
+	}
+	rng := rand.New(rand.NewSource(32))
+	x := wire.Matrix{Rows: 2, Cols: 4, Data: make([]float64, 8)}
+	dy := wire.Matrix{Rows: 2, Cols: 4, Data: make([]float64, 8)}
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+		dy.Data[i] = rng.NormFloat64()
+	}
+
+	subject := NewWorker(0, DefaultWorkerConfig())
+	control := NewWorker(1, DefaultWorkerConfig())
+	for _, w := range []*Worker{subject, control} {
+		if reply, _ := w.handle(encodeExpert(mkExpert(0, 51), spec)); reply.Type != wire.MsgAck {
+			t.Fatalf("assign e0: %v", reply.Type)
+		}
+	}
+	applyTrainingRound(t, subject, &x, &dy)
+	applyTrainingRound(t, control, &x, &dy)
+
+	// A migrated-in expert arrives at the subject only.
+	if reply, _ := subject.handle(encodeExpert(mkExpert(1, 52), spec)); reply.Type != wire.MsgAck {
+		t.Fatalf("assign e1: %v", reply.Type)
+	}
+
+	applyTrainingRound(t, subject, &x, &dy)
+	applyTrainingRound(t, control, &x, &dy)
+
+	get := func(w *Worker) []wire.Matrix {
+		reply, _ := w.handle(&wire.Message{Type: wire.MsgFetch, Layer: 0, Expert: 0})
+		if reply.Type != wire.MsgFetchResult {
+			t.Fatalf("fetch e0: %v %s", reply.Type, reply.Text)
+		}
+		return reply.Tensors
+	}
+	subjTensors, ctrlTensors := get(subject), get(control)
+	for i := range subjTensors {
+		for j := range subjTensors[i].Data {
+			if s, c := subjTensors[i].Data[j], ctrlTensors[i].Data[j]; s != c {
+				t.Fatalf("optimizer state lost across incoming assign: tensor %d value %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestChecksumsSurfaceWorkerError: a worker replying MsgError to a stats
+// request must fail Checksums (the serial implementation silently treated
+// the error frame as a malformed stats reply).
+func TestChecksumsSurfaceWorkerError(t *testing.T) {
+	master, workerEnd := transport.Pipe()
+	go func() {
+		m, err := workerEnd.Recv()
+		if err != nil {
+			return
+		}
+		_ = workerEnd.Send(&wire.Message{Type: wire.MsgError, Seq: m.Seq, Text: "stats exploded"})
+	}()
+	exec := NewExecutor([]transport.Conn{master}, placement.NewAssignment(1, 1))
+	_, err := exec.Checksums()
+	if err == nil || !strings.Contains(err.Error(), "stats exploded") {
+		t.Fatalf("err = %v, want worker error surfaced", err)
+	}
+	_ = master.Close()
+}
+
+// TestExchangeDrainsAfterWorkerError: when one expert of a multi-request
+// round fails, the executor must drain the remaining replies so the SAME
+// connection still serves the next round correctly.
+func TestExchangeDrainsAfterWorkerError(t *testing.T) {
+	const experts = 6
+	grid, assign, spec := singleWorkerGrid(experts)
+	dep := StartLocalWorkers(1, DefaultWorkerConfig())
+	exec := NewExecutor(dep.Conns, assign)
+	if err := exec.Distribute(grid, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Request the hosted experts plus one the worker does not host.
+	assign.Worker[0] = append(assign.Worker[0], 0) // expert index `experts` → worker 0
+	batches := make(map[int]*tensor.Tensor, experts+1)
+	for e := 0; e <= experts; e++ {
+		batches[e] = tensor.Full(0.2, 2, 4)
+	}
+	if _, err := exec.ForwardExperts(0, batches); err == nil || !strings.Contains(err.Error(), "does not host") {
+		t.Fatalf("err = %v, want does-not-host", err)
+	}
+
+	// The connection must be clean: a follow-up round over only hosted
+	// experts succeeds and returns sane values.
+	delete(batches, experts)
+	out, err := exec.ForwardExperts(0, batches)
+	if err != nil {
+		t.Fatalf("exchange after error reply: %v", err)
+	}
+	if len(out) != experts {
+		t.Fatalf("got %d outputs, want %d", len(out), experts)
+	}
+	for e, o := range out {
+		for _, v := range o.Data {
+			if math.IsNaN(v) {
+				t.Fatalf("expert %d output is NaN", e)
+			}
+		}
+	}
+	if err := exec.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentExpertsProduceSerialResults: with the worker executor
+// pool enabled, a many-expert exchange must produce bit-identical outputs
+// to a serial (Parallelism=1) worker — concurrency must not change math.
+func TestConcurrentExpertsProduceSerialResults(t *testing.T) {
+	const experts = 24
+	run := func(parallelism int) map[int]*tensor.Tensor {
+		grid, assign, spec := singleWorkerGrid(experts)
+		cfg := DefaultWorkerConfig()
+		cfg.Parallelism = parallelism
+		dep := StartLocalWorkers(1, cfg)
+		exec := NewExecutor(dep.Conns, assign)
+		if err := exec.Distribute(grid, spec); err != nil {
+			t.Fatal(err)
+		}
+		batches := make(map[int]*tensor.Tensor, experts)
+		for e := 0; e < experts; e++ {
+			batches[e] = tensor.Full(0.05*float64(e+1), 3, 4)
+		}
+		out, err := exec.ForwardExperts(0, batches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exec.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	pooled := run(0)
+	for e := 0; e < experts; e++ {
+		for i := range serial[e].Data {
+			if serial[e].Data[i] != pooled[e].Data[i] {
+				t.Fatalf("expert %d diverges between serial and pooled workers", e)
+			}
+		}
+	}
+}

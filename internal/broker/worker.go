@@ -2,6 +2,7 @@ package broker
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/moe"
@@ -25,6 +26,12 @@ type WorkerConfig struct {
 	LR float64
 	// AdamW is used when Optimizer is OptAdamW.
 	AdamW nn.AdamWConfig
+	// Parallelism bounds how many forward/backward requests the worker
+	// executes concurrently (the worker-side executor pool). Distinct
+	// experts hosted on the same worker can then compute in parallel;
+	// requests for the same expert always serialize. 0 selects
+	// runtime.GOMAXPROCS(0); 1 restores fully serial execution.
+	Parallelism int
 }
 
 // DefaultWorkerConfig matches the paper's fine-tuning setup (AdamW with
@@ -36,14 +43,24 @@ func DefaultWorkerConfig() WorkerConfig {
 // Worker is one Expert Manager process: it hosts a shard of experts,
 // serves forward/backward requests from the master, and applies local
 // optimizer steps to the trainable (LoRA) parameters of its experts.
+//
+// Concurrency model: forward/backward compute holds mu for reading, so
+// requests for distinct experts overlap; a per-expert lock serializes
+// compute on one expert (its layers cache activations between Forward and
+// Backward). Structural operations — Assign, Fetch, ZeroGrad, Step,
+// Stats — take mu for writing and therefore act as a full barrier,
+// waiting for all in-flight compute to drain before mutating the expert
+// table or touching optimizer state.
+//
 // The zero value is not usable; call NewWorker.
 type Worker struct {
 	ID  int
 	cfg WorkerConfig
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	experts map[moe.ExpertID]*moe.Expert
 	specs   map[moe.ExpertID]ExpertSpec
+	locks   map[moe.ExpertID]*sync.Mutex
 	opt     nn.Optimizer
 }
 
@@ -53,18 +70,20 @@ func NewWorker(id int, cfg WorkerConfig) *Worker {
 		ID: id, cfg: cfg,
 		experts: make(map[moe.ExpertID]*moe.Expert),
 		specs:   make(map[moe.ExpertID]ExpertSpec),
+		locks:   make(map[moe.ExpertID]*sync.Mutex),
 	}
 }
 
 // NumExperts returns the number of experts currently hosted.
 func (w *Worker) NumExperts() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return len(w.experts)
 }
 
-// Params returns the parameters of all hosted experts, in a deterministic
-// order is NOT guaranteed; used for checksums only.
+// params returns the parameters of all hosted experts. The order follows
+// map iteration and is NOT deterministic; callers (checksums, optimizer
+// rebinding) must not depend on it.
 func (w *Worker) params() []*nn.Param {
 	var ps []*nn.Param
 	for _, e := range w.experts {
@@ -73,31 +92,100 @@ func (w *Worker) params() []*nn.Param {
 	return ps
 }
 
+// refreshOptimizer rebinds the optimizer to the current parameter set
+// after an Assign or Fetch changed the hosted experts, preserving
+// per-parameter state (AdamW moment estimates, step count) for the
+// parameters that survive the change. Called with w.mu held for writing.
+func (w *Worker) refreshOptimizer() {
+	if w.opt == nil {
+		return // not built yet; it will be built lazily at the next Step
+	}
+	if r, ok := w.opt.(nn.Rebinder); ok {
+		r.Rebind(w.params())
+		return
+	}
+	w.opt = w.buildOptimizer()
+}
+
+// poolSize returns the effective executor-pool width.
+func (w *Worker) poolSize() int {
+	if w.cfg.Parallelism > 0 {
+		return w.cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Serve runs the worker's request loop on conn until a shutdown message
-// arrives or the connection fails. It returns nil on clean shutdown.
+// arrives or the connection fails. Forward/backward requests are handed
+// to a bounded executor pool so distinct experts compute concurrently;
+// control messages are handled inline (their locking barriers against
+// in-flight compute). Replies are serialized onto conn and correlated by
+// Seq on the master, so reply order need not match request order. It
+// returns nil on clean shutdown.
 func (w *Worker) Serve(conn interface {
 	Send(*wire.Message) error
 	Recv() (*wire.Message, error)
 }) error {
+	slots := make(chan struct{}, w.poolSize())
+	var wg sync.WaitGroup
+
+	var sendMu sync.Mutex
+	var sendErr error
+	send := func(m *wire.Message) error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		if err := conn.Send(m); err != nil {
+			if sendErr == nil {
+				sendErr = err
+			}
+			return err
+		}
+		return nil
+	}
+	asyncErr := func() error {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return sendErr
+	}
+
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
+			wg.Wait()
 			return fmt.Errorf("broker: worker %d recv: %w", w.ID, err)
+		}
+		if msg.Type == wire.MsgForward || msg.Type == wire.MsgBackward {
+			slots <- struct{}{}
+			wg.Add(1)
+			go func(msg *wire.Message) {
+				defer wg.Done()
+				defer func() { <-slots }()
+				if reply, _ := w.handle(msg); reply != nil {
+					_ = send(reply)
+				}
+			}(msg)
+			continue
 		}
 		reply, done := w.handle(msg)
 		if reply != nil {
-			if err := conn.Send(reply); err != nil {
+			if err := send(reply); err != nil {
+				wg.Wait()
 				return fmt.Errorf("broker: worker %d send: %w", w.ID, err)
 			}
 		}
 		if done {
+			wg.Wait()
+			if err := asyncErr(); err != nil {
+				return fmt.Errorf("broker: worker %d send: %w", w.ID, err)
+			}
 			return nil
 		}
 	}
 }
 
 // handle processes one message and returns the reply (nil for none) and
-// whether the serve loop should terminate.
+// whether the serve loop should terminate. It is safe for concurrent use
+// on forward/backward messages; see the Worker concurrency model.
 func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 	switch msg.Type {
 	case wire.MsgAssign:
@@ -108,7 +196,8 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 		w.mu.Lock()
 		w.experts[ex.ID] = ex
 		w.specs[ex.ID] = spec
-		w.opt = nil // parameter set changed; rebuild lazily
+		w.locks[ex.ID] = &sync.Mutex{}
+		w.refreshOptimizer()
 		w.mu.Unlock()
 		return &wire.Message{Type: wire.MsgAck, Layer: msg.Layer, Expert: msg.Expert, Seq: msg.Seq}, false
 
@@ -120,7 +209,8 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 		if ok {
 			delete(w.experts, id)
 			delete(w.specs, id)
-			w.opt = nil // parameter set changed; rebuild lazily
+			delete(w.locks, id)
+			w.refreshOptimizer()
 		}
 		w.mu.Unlock()
 		if !ok {
@@ -195,18 +285,23 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 	}
 }
 
-// runExpert looks up the target expert and applies fn under the lock.
+// runExpert looks up the target expert and applies fn while holding the
+// worker's read barrier and the expert's own lock: compute on distinct
+// experts overlaps, compute on one expert serializes.
 func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix, error)) (*wire.Matrix, error) {
 	if len(msg.Tensors) != 1 {
 		return nil, fmt.Errorf("broker: %v message carries %d tensors, want 1", msg.Type, len(msg.Tensors))
 	}
 	id := moe.ExpertID{Layer: int(msg.Layer), Expert: int(msg.Expert)}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	e, ok := w.experts[id]
 	if !ok {
 		return nil, fmt.Errorf("broker: worker %d does not host %v", w.ID, id)
 	}
+	lk := w.locks[id]
+	lk.Lock()
+	defer lk.Unlock()
 	return fn(e)
 }
 

@@ -13,6 +13,15 @@ type Optimizer interface {
 	Step()
 }
 
+// Rebinder is implemented by optimizers that can replace their parameter
+// set in place while preserving per-parameter state (moment estimates,
+// step counts) for parameters present both before and after the change.
+// The broker's Expert Manager uses this when experts migrate on or off a
+// worker, so the surviving experts' optimizer trajectories are unchanged.
+type Rebinder interface {
+	Rebind(params []*Param)
+}
+
 // SGD is plain stochastic gradient descent, w ← w − lr·∇w, the optimizer
 // assumed by Theorem 1 of the paper.
 type SGD struct {
@@ -31,6 +40,10 @@ func (o *SGD) Step() {
 		p.Value.AxpyInPlace(-o.LR, p.Grad)
 	}
 }
+
+// Rebind implements Rebinder. SGD is stateless, so rebinding just swaps
+// the parameter list.
+func (o *SGD) Rebind(params []*Param) { o.params = CollectTrainable(params) }
 
 // AdamWConfig mirrors the paper's fine-tuning hyperparameters: learning
 // rate 3e-5, betas [0.8, 0.999], epsilon 1e-8, weight decay 3e-7.
@@ -67,6 +80,33 @@ func NewAdamW(params []*Param, cfg AdamWConfig) *AdamW {
 		o.v[i] = tensor.Zeros(p.Value.Shape()...)
 	}
 	return o
+}
+
+// Rebind implements Rebinder: it replaces the optimizer's parameter set,
+// carrying the first/second moment estimates of every parameter that is
+// in both the old and the new set (matched by identity) and zero-
+// initializing moments for new parameters. The global step count t is
+// retained so surviving parameters continue their bias-correction
+// schedule; freshly added parameters inherit it, which slightly weakens
+// their initial bias correction but keeps the optimizer state coherent.
+func (o *AdamW) Rebind(params []*Param) {
+	type moments struct{ m, v *tensor.Tensor }
+	old := make(map[*Param]moments, len(o.params))
+	for i, p := range o.params {
+		old[p] = moments{o.m[i], o.v[i]}
+	}
+	ps := CollectTrainable(params)
+	o.params = ps
+	o.m = make([]*tensor.Tensor, len(ps))
+	o.v = make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		if s, ok := old[p]; ok {
+			o.m[i], o.v[i] = s.m, s.v
+		} else {
+			o.m[i] = tensor.Zeros(p.Value.Shape()...)
+			o.v[i] = tensor.Zeros(p.Value.Shape()...)
+		}
+	}
 }
 
 // Step implements Optimizer.

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// mkParam builds a trainable parameter with deterministic values and a
+// fixed gradient pattern.
+func mkParam(t *testing.T, name string, seed int64, n int) *Param {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := NewParam(name, tensor.Randn(rng, 1, n), true)
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = rng.NormFloat64()
+	}
+	return p
+}
+
+// TestAdamWRebindPreservesMoments: after rebinding to a parameter set
+// that drops one parameter and adds another, the surviving parameter's
+// trajectory must be identical to an optimizer that never saw the
+// change — moments and step count carry over.
+func TestAdamWRebindPreservesMoments(t *testing.T) {
+	survivor := mkParam(t, "survivor", 1, 8)
+	departing := mkParam(t, "departing", 2, 8)
+	// The control tracks an identical copy of the survivor.
+	control := mkParam(t, "survivor", 1, 8)
+
+	opt := NewAdamW([]*Param{survivor, departing}, PaperAdamWConfig())
+	ref := NewAdamW([]*Param{control}, PaperAdamWConfig())
+
+	opt.Step()
+	ref.Step()
+
+	// Drop `departing`, add a newcomer — the broker does exactly this
+	// when an expert migrates off/onto a worker.
+	newcomer := mkParam(t, "newcomer", 3, 4)
+	opt.Rebind([]*Param{survivor, newcomer})
+
+	opt.Step()
+	ref.Step()
+
+	for i := range survivor.Value.Data {
+		if survivor.Value.Data[i] != control.Value.Data[i] {
+			t.Fatalf("survivor diverged after rebind at %d: %.18g vs %.18g",
+				i, survivor.Value.Data[i], control.Value.Data[i])
+		}
+	}
+	// The newcomer must have been updated too (fresh zero moments).
+	moved := false
+	rng := rand.New(rand.NewSource(3))
+	fresh := tensor.Randn(rng, 1, 4)
+	for i := range newcomer.Value.Data {
+		if newcomer.Value.Data[i] != fresh.Data[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("newcomer not updated after rebind")
+	}
+}
+
+// TestAdamWRebindIgnoresFrozenParams: Rebind must collect only trainable
+// parameters, like NewAdamW does.
+func TestAdamWRebindIgnoresFrozenParams(t *testing.T) {
+	p := mkParam(t, "p", 4, 4)
+	frozen := mkParam(t, "frozen", 5, 4)
+	frozen.Trainable = false
+	before := append([]float64(nil), frozen.Value.Data...)
+
+	opt := NewAdamW([]*Param{p}, PaperAdamWConfig())
+	opt.Rebind([]*Param{p, frozen})
+	opt.Step()
+
+	for i, v := range frozen.Value.Data {
+		if v != before[i] {
+			t.Fatal("frozen parameter updated after rebind")
+		}
+	}
+}
+
+// TestSGDRebind: stateless swap of the parameter list.
+func TestSGDRebind(t *testing.T) {
+	a := mkParam(t, "a", 6, 4)
+	b := mkParam(t, "b", 7, 4)
+	opt := NewSGD([]*Param{a}, 0.1)
+	opt.Rebind([]*Param{b})
+	aBefore := append([]float64(nil), a.Value.Data...)
+	bBefore := append([]float64(nil), b.Value.Data...)
+	opt.Step()
+	for i, v := range a.Value.Data {
+		if v != aBefore[i] {
+			t.Fatal("dropped parameter still updated after SGD rebind")
+		}
+	}
+	changed := false
+	for i, v := range b.Value.Data {
+		if v != bBefore[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("rebound parameter not updated")
+	}
+}

@@ -71,13 +71,22 @@ func (c *chanConn) Send(m *wire.Message) error {
 	}
 }
 
-// Recv implements Conn.
+// Recv implements Conn. Messages already buffered when the pipe closes
+// are still delivered, in order, before Recv starts reporting ErrClosed —
+// a close racing with in-flight sends must not drop them.
 func (c *chanConn) Recv() (*wire.Message, error) {
+	// Deterministically prefer buffered messages over the close signal
+	// (a bare two-case select picks randomly when both are ready).
+	select {
+	case m := <-c.in:
+		return m, nil
+	default:
+	}
 	select {
 	case m := <-c.in:
 		return m, nil
 	case <-c.state.closed:
-		// Drain any message that raced with close.
+		// Drain anything that raced with close until the buffer is empty.
 		select {
 		case m := <-c.in:
 			return m, nil

@@ -178,3 +178,29 @@ func TestDialFailure(t *testing.T) {
 		t.Fatal("dialing a closed port must fail")
 	}
 }
+
+// TestPipeCloseDeliversAllBufferedMessages: messages already buffered
+// when the pipe closes must all be delivered, in order, before Recv
+// starts returning ErrClosed.
+func TestPipeCloseDeliversAllBufferedMessages(t *testing.T) {
+	a, b := Pipe()
+	const n = 10
+	for i := uint64(0); i < n; i++ {
+		if err := a.Send(&wire.Message{Type: wire.MsgAck, Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	for i := uint64(0); i < n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("message %d dropped after close: %v", i, err)
+		}
+		if m.Seq != i {
+			t.Fatalf("out of order after close: got %d, want %d", m.Seq, i)
+		}
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained pipe Recv = %v, want ErrClosed", err)
+	}
+}

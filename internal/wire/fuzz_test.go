@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// adversarialTensorFrame hand-crafts a frame body whose single tensor
+// header claims the given rows/cols/encoding over an (almost) empty
+// payload.
+func adversarialTensorFrame(rows, cols uint32, enc byte, payload int) []byte {
+	body := make([]byte, 0, 32+payload)
+	body = append(body, byte(MsgForward))
+	body = binary.LittleEndian.AppendUint32(body, 0) // layer
+	body = binary.LittleEndian.AppendUint32(body, 0) // expert
+	body = binary.LittleEndian.AppendUint64(body, 1) // seq
+	body = binary.LittleEndian.AppendUint32(body, 0) // text len
+	body = binary.LittleEndian.AppendUint32(body, 1) // tensor count
+	body = binary.LittleEndian.AppendUint32(body, rows)
+	body = binary.LittleEndian.AppendUint32(body, cols)
+	body = append(body, enc)
+	body = append(body, make([]byte, payload)...)
+	return body
+}
+
+// TestDecodeRejectsOverflowingTensorHeaders: hostile rows/cols values
+// whose product overflows int (or whose byte count overflows when scaled
+// by the element width) must be rejected up front — decoding must neither
+// pass the bound check via wraparound nor attempt a multi-GiB allocation.
+func TestDecodeRejectsOverflowingTensorHeaders(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols uint32
+		enc        byte
+	}{
+		// rows*cols = 2^60; ×8 bytes overflows int64 to a negative count,
+		// which slipped past the old `off+width*n > len(body)` check and
+		// then hit a 2^63-byte make.
+		{"product-overflows-byte-count", 1 << 30, 1 << 30, 0},
+		{"product-overflows-byte-count-half", 1 << 30, 1 << 30, 1},
+		// rows*cols = 2^62 ≈ int64 max / 2; ×8 wraps around.
+		{"near-max-product", 1 << 31, 1 << 31, 0},
+		// Max uint32 in both dimensions.
+		{"max-uint32-dims", 0xFFFFFFFF, 0xFFFFFFFF, 0},
+		// Modest product, but still far larger than the body: must not
+		// allocate gigabytes before noticing.
+		{"multi-GiB-claim", 1 << 20, 1 << 10, 0},
+		{"huge-single-dim", 0xFFFFFFFF, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := adversarialTensorFrame(tc.rows, tc.cols, tc.enc, 16)
+			m, err := Decode(body)
+			if err == nil {
+				t.Fatalf("hostile header %dx%d decoded: %+v", tc.rows, tc.cols, m)
+			}
+		})
+	}
+}
+
+// TestDecodeAcceptsDegenerateTensors: zero-row/zero-col tensors are legal
+// (they carry no data) and must keep round-tripping after the hostile-
+// header hardening.
+func TestDecodeAcceptsDegenerateTensors(t *testing.T) {
+	for _, m := range []*Message{
+		{Type: MsgForward, Tensors: []Matrix{{Rows: 0, Cols: 5, Data: []float64{}}}},
+		{Type: MsgForward, Tensors: []Matrix{{Rows: 5, Cols: 0, Data: []float64{}}}},
+		{Type: MsgForward, Tensors: []Matrix{{Rows: 0, Cols: 0, Data: []float64{}}}},
+	} {
+		got, err := Decode(Encode(m)[4:])
+		if err != nil {
+			t.Fatalf("degenerate tensor %dx%d rejected: %v", m.Tensors[0].Rows, m.Tensors[0].Cols, err)
+		}
+		if len(got.Tensors) != 1 || len(got.Tensors[0].Data) != 0 {
+			t.Fatalf("degenerate tensor mangled: %+v", got.Tensors)
+		}
+	}
+}
+
+// FuzzDecode throws arbitrary bodies at the decoder: it must never panic
+// or allocate unboundedly, and everything it accepts must re-encode.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(&Message{Type: MsgStep})[4:])
+	f.Add(Encode(&Message{Type: MsgError, Text: "boom"})[4:])
+	f.Add(Encode(&Message{Type: MsgForward, Layer: 1, Expert: 2, Seq: 3,
+		Tensors: []Matrix{{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}}})[4:])
+	f.Add(Encode(&Message{Type: MsgBackward,
+		Tensors: []Matrix{{Rows: 1, Cols: 3, Data: []float64{1, 2, 3}, Half: true}}})[4:])
+	f.Add(adversarialTensorFrame(1<<30, 1<<30, 0, 16))
+	f.Add(adversarialTensorFrame(0xFFFFFFFF, 2, 1, 64))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		m, err := Decode(body)
+		if err != nil {
+			return
+		}
+		// Accepted frames must be internally consistent and re-encodable
+		// (Encode panics on rows×cols ≠ len(data)).
+		for i, tr := range m.Tensors {
+			if tr.Rows*tr.Cols != len(tr.Data) {
+				t.Fatalf("tensor %d inconsistent: %dx%d with %d values", i, tr.Rows, tr.Cols, len(tr.Data))
+			}
+		}
+		_ = Encode(m)
+	})
+}

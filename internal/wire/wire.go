@@ -222,14 +222,22 @@ func Decode(body []byte) (*Message, error) {
 		if enc > 1 {
 			return nil, fmt.Errorf("wire: tensor %d has unknown encoding %d", i, enc)
 		}
-		n := rows * cols
 		width := 8
 		if enc == 1 {
 			width = 2
 		}
-		if rows < 0 || cols < 0 || off+width*n > len(body) {
+		// Validate the header against the remaining body BEFORE computing
+		// rows*cols or allocating: a hostile frame can carry rows/cols
+		// near 2^31 whose product (or its width-scaled byte count)
+		// overflows int and would otherwise slip past the bound check or
+		// trigger a multi-GiB allocation. maxVals caps each dimension, so
+		// the subsequent product check cannot overflow.
+		maxVals := (len(body) - off) / width
+		if rows < 0 || cols < 0 ||
+			(rows > 0 && cols > 0 && (cols > maxVals || rows > maxVals/cols)) {
 			return nil, fmt.Errorf("wire: tensor %d (%dx%d) overruns frame", i, rows, cols)
 		}
+		n := rows * cols
 		data := make([]float64, n)
 		if enc == 1 {
 			HalfDecode(body[off:off+2*n], data)
