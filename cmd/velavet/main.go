@@ -1,0 +1,78 @@
+// Command velavet is VELA's domain-specific static-analysis gate: a
+// standard-library-only driver (go/parser + go/types with a source
+// importer, so it runs offline) over the analyzer suite in
+// internal/lint. It enforces the invariants PR 1 established by hand:
+//
+//	locklint     no mutex held across a blocking transport/channel op
+//	errdispatch  message-type switches handle MsgError; Send/Recv/Close
+//	             errors are not dropped
+//	allocbound   decoded wire-header values are bounds-checked before
+//	             sizing an allocation
+//	panicpolicy  panics only in tensor/nn shape preconditions
+//	floateq      no exact floating-point == / !=
+//
+// Usage:
+//
+//	velavet [-list] [-dir DIR] [packages]
+//
+// The package arguments are accepted for Makefile symmetry with the go
+// tool ("velavet ./..."), but the driver always analyzes every package
+// of the module enclosing -dir (default "."), test files included.
+// Diagnostics print as file:line: analyzer: message; the exit status is
+// 1 when anything is reported, 2 on a driver failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		dir  = flag.String("dir", ".", "directory inside the module to analyze")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			scope := "all packages"
+			if len(a.Components) > 0 {
+				scope = fmt.Sprintf("packages with a %v path component", a.Components)
+			}
+			fmt.Printf("%-12s %s (%s)\n", a.Name, a.Doc, scope)
+		}
+		return
+	}
+
+	pkgs, err := lint.Load(lint.Config{Dir: *dir, IncludeTests: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "velavet: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Surface typecheck failures: analyzers run on best-effort type
+	// information, but a package that does not typecheck is itself a
+	// finding (and explains any odd diagnostics that follow).
+	broken := false
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "velavet: typecheck %s: %v\n", p.Path, terr)
+			broken = true
+		}
+	}
+
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 || broken {
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "velavet: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocBound enforces the wire decoder's allocation invariant from
+// PR 1's overflow fix: a `make` whose length derives from a decoded
+// wire-header field (a binary.LittleEndian/BigEndian integer read, or a
+// Rows/Cols header field of a wire matrix) must be preceded by a bounds
+// check on that value. Without the check a hostile or corrupted frame
+// drives a multi-GiB allocation — or an int-overflowing rows×cols
+// product that slips past a later check — before any validation runs.
+//
+// The analysis is per-function taint tracking along the statement list:
+// values read via encoding/binary or from wire header fields are
+// tainted; appearing inside a comparison in an `if` condition clears
+// the taint (the code looked at the value before trusting it); a `make`
+// sized by a still-tainted value is reported. Taint propagates through
+// assignment, conversion and arithmetic.
+var AllocBound = &Analyzer{
+	Name:       "allocbound",
+	Doc:        "make() sized by a decoded wire-header value without a preceding bounds check",
+	Components: []string{"wire", "broker"},
+	Run:        runAllocBound,
+}
+
+func runAllocBound(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				ts := taintScan{pass: pass, tainted: map[types.Object]token.Pos{}}
+				ts.block(fd.Body)
+			}
+		}
+	}
+}
+
+type taintScan struct {
+	pass    *Pass
+	tainted map[types.Object]token.Pos // decoded-but-unchecked values
+}
+
+func (s *taintScan) block(b *ast.BlockStmt) {
+	for _, st := range b.List {
+		s.stmt(st)
+	}
+}
+
+func (s *taintScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		// Check RHS for unchecked makes first, then propagate taint.
+		for _, e := range st.Rhs {
+			s.checkMakes(e)
+		}
+		if len(st.Lhs) == len(st.Rhs) {
+			for i, lhs := range st.Lhs {
+				s.assign(lhs, st.Rhs[i])
+			}
+		} else if len(st.Rhs) == 1 {
+			// Multi-value RHS (call, map index): taint every LHS if the
+			// single RHS is tainted.
+			for _, lhs := range st.Lhs {
+				s.assign(lhs, st.Rhs[0])
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) == len(vs.Names) {
+					for i, name := range vs.Names {
+						s.checkMakes(vs.Values[i])
+						s.assign(name, vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		// A comparison in the condition counts as the bounds check: the
+		// code inspected the value before trusting it. This clears taint
+		// for the rest of the function — guard-style early returns are
+		// the dominant idiom in the decode paths.
+		s.clearChecked(st.Cond)
+		s.checkMakes(st.Cond)
+		s.block(st.Body)
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.ExprStmt:
+		s.checkMakes(st.X)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.checkMakes(e)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.clearChecked(st.Cond)
+		}
+		s.block(st.Body)
+	case *ast.RangeStmt:
+		s.block(st.Body)
+	case *ast.SwitchStmt:
+		if st.Tag != nil {
+			s.checkMakes(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			for _, b := range c.(*ast.CaseClause).Body {
+				s.stmt(b)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			for _, b := range c.(*ast.CaseClause).Body {
+				s.stmt(b)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			for _, b := range c.(*ast.CommClause).Body {
+				s.stmt(b)
+			}
+		}
+	case *ast.BlockStmt:
+		s.block(st)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.GoStmt:
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.block(lit.Body)
+		}
+	case *ast.DeferStmt:
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			s.block(lit.Body)
+		}
+	case *ast.SendStmt:
+		s.checkMakes(st.Value)
+	}
+}
+
+// assign propagates taint from rhs to the object behind lhs.
+func (s *taintScan) assign(lhs, rhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := s.pass.Info().Defs[id]
+	if obj == nil {
+		obj = s.pass.Info().Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if pos, tainted := s.exprTaint(rhs); tainted {
+		s.tainted[obj] = pos
+	} else {
+		delete(s.tainted, obj)
+	}
+}
+
+// exprTaint reports whether e carries decoded-header taint, returning
+// the source position of the first taint it finds.
+func (s *taintScan) exprTaint(e ast.Expr) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := s.pass.Info().Uses[n]; obj != nil {
+				if _, ok := s.tainted[obj]; ok {
+					pos, found = n.Pos(), true
+				}
+			}
+		case *ast.CallExpr:
+			if isBinaryRead(s.pass.Info(), n) {
+				pos, found = n.Pos(), true
+			}
+		case *ast.SelectorExpr:
+			if isWireHeaderField(s.pass.Info(), n) {
+				pos, found = n.Pos(), true
+			}
+		}
+		return !found
+	})
+	return pos, found
+}
+
+// clearChecked removes taint from every tainted object that appears in
+// a comparison within cond.
+func (s *taintScan) clearChecked(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			for _, side := range [2]ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := s.pass.Info().Uses[id]; obj != nil {
+							delete(s.tainted, obj)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// checkMakes reports make calls inside e whose length or capacity is
+// sized by a tainted value.
+func (s *taintScan) checkMakes(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if b, ok := s.pass.Info().Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if pos, tainted := s.exprTaint(arg); tainted {
+				src := s.pass.Fset().Position(pos)
+				s.pass.Reportf(call.Pos(), "make sized by wire-decoded value (from %s) with no preceding bounds check — a hostile frame can force a huge or overflowing allocation", src)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// isBinaryRead matches binary.LittleEndian.UintNN(...) /
+// binary.BigEndian.UintNN(...) and binary.ReadUvarint-style calls from
+// encoding/binary.
+func isBinaryRead(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64", "ReadUvarint", "ReadVarint", "Uvarint", "Varint":
+	default:
+		return false
+	}
+	// Receiver must come from encoding/binary (binary.LittleEndian etc.
+	// or the package itself).
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr: // binary.LittleEndian.Uint32
+		if obj := info.Uses[x.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path() == "encoding/binary"
+		}
+	case *ast.Ident: // binary.Uvarint, or a local alias of an endianness value
+		if obj := info.Uses[x]; obj != nil {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path() == "encoding/binary"
+			}
+			if obj.Pkg() != nil && obj.Pkg().Path() == "encoding/binary" {
+				return true
+			}
+			if t := obj.Type(); t != nil && isNamed(t, "encoding/binary", "ByteOrder") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isWireHeaderField matches Rows/Cols selector reads on a matrix type
+// declared in a wire package — the decoded geometry of a frame tensor.
+func isWireHeaderField(info *types.Info, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Rows", "Cols":
+	default:
+		return false
+	}
+	t := typeOf(info, sel.X)
+	if t == nil {
+		return false
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Name() != "Matrix" {
+		return false
+	}
+	for _, comp := range strings.Split(n.Obj().Pkg().Path(), "/") {
+		if comp == "wire" {
+			return true
+		}
+	}
+	return false
+}

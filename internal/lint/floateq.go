@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags `==` and `!=` between floating-point operands. After a
+// value has crossed the wire in binary16, been summed in a different
+// reduction order, or passed through an optimizer step, exact equality
+// is a coin flip: comparisons must go through a tolerance helper
+// (internal/testutil's AlmostEqual family) or be restructured.
+//
+// Exemptions:
+//   - the self-comparison NaN idiom (x != x);
+//   - the tolerance helpers themselves (any package with a "testutil"
+//     path component);
+//   - sites annotated //velavet:allow floateq -- <reason>, for the rare
+//     comparison that is semantically exact (e.g. an untouched sentinel
+//     value round-tripping unchanged).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact == / != on floating-point values outside tolerance helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, comp := range strings.Split(pass.Pkg.Path, "/") {
+		if comp == "testutil" {
+			return
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(typeOf(pass.Info(), be.X)) && !isFloat(typeOf(pass.Info(), be.Y)) {
+				return true
+			}
+			// x != x / x == x is the NaN check; leave it alone.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(), "exact floating-point %s — use a tolerance compare (testutil.AlmostEqual) or restructure; bit-exact float equality does not survive wire quantization or reduction reordering",
+				be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t is a floating-point basic type (including
+// untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPolicy enforces VELA's failure-domain rule: panics are reserved
+// for shape preconditions in the numeric substrate (internal/tensor,
+// internal/nn), where a mismatched dimension is a programming error
+// caught in development. Runtime packages — the broker, wire codec,
+// transport, training loop, everything that touches data arriving from
+// a peer or a file — must return errors instead: a panic there takes
+// down a worker process on malformed input, and the master sees a
+// vanished connection rather than a MsgError it can surface.
+//
+// A deliberate precondition panic outside tensor/nn (e.g. a constructor
+// rejecting a statically-invalid configuration) must carry a
+// //velavet:allow panicpolicy -- <reason> directive.
+var PanicPolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc:  "panic outside internal/tensor and internal/nn shape preconditions",
+	Run:  runPanicPolicy,
+}
+
+// panicAllowedComponents are the packages whose shape preconditions may
+// panic freely.
+var panicAllowedComponents = []string{"tensor", "nn"}
+
+func runPanicPolicy(pass *Pass) {
+	for _, comp := range strings.Split(pass.Pkg.Path, "/") {
+		for _, ok := range panicAllowedComponents {
+			if comp == ok {
+				return
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.Info().Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			// Test files may panic (the testing runtime converts it into
+			// a failure with a stack).
+			if isTestFile(pass.Fset(), call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in runtime package %s — return an error instead (panics are reserved for tensor/nn shape preconditions); annotate deliberate preconditions with //velavet:allow",
+				pass.Pkg.Path)
+			return true
+		})
+	}
+}

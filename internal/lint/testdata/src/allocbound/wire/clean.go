@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errOverrun = errors.New("wire: tensor overruns frame")
+
+const maxFrame = 1 << 30
+
+// decodeChecked is the PR-1 fix shape: validate the header against the
+// remaining body before computing the product or allocating.
+func decodeChecked(body []byte) ([]float64, error) {
+	rows := int(binary.LittleEndian.Uint32(body))
+	cols := int(binary.LittleEndian.Uint32(body[4:]))
+	maxVals := (len(body) - 8) / 8
+	if rows < 0 || cols < 0 || (rows > 0 && cols > 0 && (cols > maxVals || rows > maxVals/cols)) {
+		return nil, errOverrun
+	}
+	return make([]float64, rows*cols), nil
+}
+
+// readFrameChecked caps the length prefix before allocating the body.
+func readFrameChecked(hdr []byte) ([]byte, error) {
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxFrame {
+		return nil, errOverrun
+	}
+	return make([]byte, n), nil
+}
+
+// allocConstant does not involve decoded values at all.
+func allocConstant(rows int) []float64 {
+	return make([]float64, rows*8)
+}

@@ -1,0 +1,34 @@
+// Package wire reproduces the PR-1 allocation-overflow shapes
+// allocbound exists to catch: make() sized straight from a decoded
+// header with no bounds check.
+package wire
+
+import "encoding/binary"
+
+// Matrix mirrors the wire matrix header.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// decodeUnchecked sizes the allocation from raw header fields: a
+// hostile frame with rows/cols near 2^31 forces a huge allocation or an
+// int-overflowing product before anything validates it.
+func decodeUnchecked(body []byte) []float64 {
+	rows := int(binary.LittleEndian.Uint32(body))
+	cols := int(binary.LittleEndian.Uint32(body[4:]))
+	return make([]float64, rows*cols) // want "make sized by wire-decoded value"
+}
+
+// readFrameUnchecked trusts the length prefix outright.
+func readFrameUnchecked(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	buf := make([]byte, n) // want "make sized by wire-decoded value"
+	return buf
+}
+
+// allocFromHeaderField trusts a decoded Matrix header that nothing
+// re-validated.
+func allocFromHeaderField(m *Matrix) []float64 {
+	return make([]float64, m.Rows*m.Cols) // want "make sized by wire-decoded value"
+}

@@ -1,0 +1,43 @@
+package broker
+
+// dispatchWithErrorArm handles worker-side failures explicitly.
+func dispatchWithErrorArm(m *Msg) (int, error) {
+	switch m.Type {
+	case MsgForwardResult:
+		return 1, nil
+	case MsgError:
+		return 0, errText(m.Text)
+	}
+	return 0, nil
+}
+
+// dispatchWithDefault routes everything unrecognized — including
+// MsgError — into one failure arm.
+func dispatchWithDefault(m *Msg) (int, error) {
+	switch m.Type {
+	case MsgForwardResult:
+		return 1, nil
+	default:
+		return 0, errText(m.Text)
+	}
+}
+
+// sendChecked propagates the transport error.
+func sendChecked(c Conn, m *Msg) error {
+	if err := c.Send(m); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close is a shutdown path: the connection is being abandoned, so the
+// discarded Close error is tolerated.
+func Close(conns []Conn) {
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+type errText string
+
+func (e errText) Error() string { return string(e) }

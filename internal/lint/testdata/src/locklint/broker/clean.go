@@ -1,0 +1,34 @@
+package broker
+
+// stampOutsideLock is the correct shape: the lock covers only the
+// shared-state mutation, and the blocking Send runs after release.
+func (e *exchanger) stampOutsideLock(m *Msg) error {
+	e.mu.Lock()
+	e.next++
+	m.Seq = e.next
+	e.mu.Unlock()
+	return e.conn.Send(m)
+}
+
+// pipelinedWriter launches the blocking work on its own goroutine; lock
+// state does not cross the goroutine boundary.
+func (e *exchanger) pipelinedWriter(msgs []*Msg) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		for _, m := range msgs {
+			if err := e.conn.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// drain blocks on the channel with no lock held at all.
+func (e *exchanger) drain() {
+	for m := range e.inbox {
+		e.mu.Lock()
+		e.next = m.Seq
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,60 @@
+// Package broker reproduces the PR-1 deadlock shapes locklint exists
+// to catch: blocking transport and channel operations while a mutex is
+// held.
+package broker
+
+import "sync"
+
+// Msg stands in for wire.Message.
+type Msg struct{ Seq uint64 }
+
+// Conn mirrors transport.Conn's blocking surface.
+type Conn interface {
+	Send(*Msg) error
+	Recv() (*Msg, error)
+	Close() error
+}
+
+type exchanger struct {
+	mu    sync.Mutex
+	state sync.RWMutex
+	conn  Conn
+	ready chan struct{}
+	inbox chan *Msg
+	next  uint64
+}
+
+// sendThenRecvUnderLock is the PR-1 bug verbatim: the whole
+// send-everything-then-receive exchange runs under the executor lock,
+// so the moment the transport stops draining, every other goroutine
+// contending for mu wedges behind the blocked Send.
+func (e *exchanger) sendThenRecvUnderLock(msgs []*Msg) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, m := range msgs {
+		if err := e.conn.Send(m); err != nil { // want "transport Send on e.conn while holding e.mu"
+			return err
+		}
+	}
+	for range msgs {
+		if _, err := e.conn.Recv(); err != nil { // want "transport Recv on e.conn while holding e.mu"
+			return err
+		}
+	}
+	return nil
+}
+
+// signalUnderLock blocks on an unbuffered channel with the lock held.
+func (e *exchanger) signalUnderLock() {
+	e.mu.Lock()
+	e.ready <- struct{}{} // want "channel send while holding e.mu"
+	e.mu.Unlock()
+}
+
+// recvUnderRLock shows read locks count too: an RLock stalls every
+// writer behind the blocked receive.
+func (e *exchanger) recvUnderRLock() *Msg {
+	e.state.RLock()
+	defer e.state.RUnlock()
+	return <-e.inbox // want "channel receive while holding e.state"
+}

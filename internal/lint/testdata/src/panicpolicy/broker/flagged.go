@@ -1,0 +1,27 @@
+// Package broker reproduces the failure-domain violations panicpolicy
+// exists to catch: panics in runtime packages that must return errors.
+package broker
+
+import "fmt"
+
+// Msg stands in for wire.Message.
+type Msg struct{ Kind uint8 }
+
+// decode panics on malformed input arriving from a peer — this takes
+// the worker process down instead of surfacing a MsgError.
+func decode(m *Msg) int {
+	if m.Kind > 14 {
+		panic(fmt.Sprintf("unknown message kind %d", m.Kind)) // want "panic in runtime package"
+	}
+	return int(m.Kind)
+}
+
+// allowedPrecondition demonstrates the escape hatch for deliberate
+// programmer-error preconditions: the directive names the analyzer and
+// must carry a reason.
+func allowedPrecondition(workers int) {
+	if workers <= 0 {
+		//velavet:allow panicpolicy -- static deployment config, not peer input
+		panic("broker: worker count must be positive")
+	}
+}

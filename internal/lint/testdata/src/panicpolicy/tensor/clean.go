@@ -1,0 +1,14 @@
+// Package tensor is the numeric substrate: shape preconditions may
+// panic freely (a mismatched dimension is a programming error, not a
+// runtime condition).
+package tensor
+
+import "fmt"
+
+// MatMul panics on a shape mismatch — permitted here.
+func MatMul(aRows, aCols, bRows int) int {
+	if aCols != bRows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d @ %dx?", aRows, aCols, bRows))
+	}
+	return aRows
+}
