@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet lint race bench check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ test:
 vet:
 	$(GO) vet ./...
 
+# velavet: the repo's own analyzer suite (internal/lint, driven by
+# cmd/velavet). Enforces the concurrency, wire, and numeric invariants
+# DESIGN.md §10 documents; exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/velavet ./...
+
 # The concurrent runtime packages (pipelined master, pooled worker,
 # transport) plus everything else under the race detector.
 race:
@@ -22,5 +28,5 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Pre-merge gate: vet + full race-enabled test suite.
-check: vet race
+# Pre-merge gate: vet + velavet + full race-enabled test suite.
+check: vet lint race

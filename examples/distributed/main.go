@@ -157,7 +157,9 @@ func runOnce(cfg moe.Config, topo cluster.Topology, corpus *data.Corpus,
 		}
 	}
 	for _, c := range conns {
-		_ = c.Close()
+		if err := c.Close(); err != nil {
+			return 0, 0, err
+		}
 	}
 	return cross, finalLoss, nil
 }

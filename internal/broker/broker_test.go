@@ -11,6 +11,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/placement"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -79,7 +80,7 @@ func TestExpertCodecRoundTrip(t *testing.T) {
 	want := e.Forward(x)
 	have := got.Forward(x)
 	for i := range want.Data {
-		if want.Data[i] != have.Data[i] {
+		if !testutil.BitEqual(want.Data[i], have.Data[i]) {
 			t.Fatal("decoded expert diverges from original")
 		}
 	}
@@ -121,7 +122,7 @@ func TestWorkerForwardMatchesLocalExpert(t *testing.T) {
 	}
 	want := ref.Forward(x)
 	for i, v := range want.Data {
-		if reply.Tensors[0].Data[i] != v {
+		if !testutil.BitEqual(reply.Tensors[0].Data[i], v) {
 			t.Fatal("worker forward diverges from local expert")
 		}
 	}
@@ -179,7 +180,7 @@ func TestBrokeredForwardMatchesLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range lo.Data {
-		if lo.Data[i] != br.Data[i] {
+		if !testutil.BitEqual(lo.Data[i], br.Data[i]) {
 			t.Fatalf("logit %d differs: %v vs %v", i, lo.Data[i], br.Data[i])
 		}
 	}
@@ -280,7 +281,7 @@ func TestBrokeredFineTuningMatchesLocal(t *testing.T) {
 		}
 	}
 	// Losses should actually change across steps (training is happening).
-	if local[0] == local[steps-1] {
+	if testutil.BitEqual(local[0], local[steps-1]) {
 		t.Fatal("losses identical across steps — optimizer not applied?")
 	}
 }
@@ -362,7 +363,7 @@ func TestChecksumsAndDistributionPlacement(t *testing.T) {
 		t.Fatalf("got %d checksums", len(sums))
 	}
 	for n, s := range sums {
-		if len(s) != 3 || s[2] == 0 {
+		if len(s) != 3 || testutil.Close(s[2], 0) {
 			t.Fatalf("worker %d checksum malformed: %v", n, s)
 		}
 	}
@@ -448,6 +449,7 @@ func TestTCPDeployment(t *testing.T) {
 		}
 	}
 	for _, c := range conns {
+		//velavet:allow errdispatch -- end-of-test teardown of in-process pipes already drained by Shutdown
 		_ = c.Close()
 	}
 }

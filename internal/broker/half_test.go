@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/moe"
 	"repro/internal/nn"
+	"repro/internal/testutil"
 	"repro/internal/wire"
 )
 
@@ -74,7 +75,7 @@ func TestHalfPrecisionFineTuning(t *testing.T) {
 		if rel > 0.02 {
 			t.Fatalf("step %d: half-precision run diverged: %.6f vs %.6f", s, half[s], full[s])
 		}
-		if full[s] != half[s] {
+		if !testutil.BitEqual(full[s], half[s]) {
 			diverged = true
 		}
 	}
@@ -91,8 +92,15 @@ func TestHalfFrameSizeShrinks(t *testing.T) {
 		Tensors: []wire.Matrix{{Rows: 32, Cols: 32, Data: data}}}
 	halfMsg := &wire.Message{Type: wire.MsgForward,
 		Tensors: []wire.Matrix{{Rows: 32, Cols: 32, Data: data, Half: true}}}
-	fullLen := len(wire.Encode(fullMsg))
-	halfLen := len(wire.Encode(halfMsg))
+	fullBuf, err := wire.Encode(fullMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfBuf, err := wire.Encode(halfMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullLen, halfLen := len(fullBuf), len(halfBuf)
 	if halfLen >= fullLen/3 {
 		t.Fatalf("half frame %dB not ≪ full frame %dB", halfLen, fullLen)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/moe"
 	"repro/internal/placement"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 // TestMigratePreservesExpertWeights: after migrating an expert to another
@@ -44,7 +45,7 @@ func TestMigratePreservesExpertWeights(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range before[0].Data {
-		if before[0].Data[i] != after[0].Data[i] {
+		if !testutil.BitEqual(before[0].Data[i], after[0].Data[i]) {
 			t.Fatal("migrated expert produces different output")
 		}
 	}

@@ -104,7 +104,10 @@ func (w *Worker) refreshOptimizer() {
 		r.Rebind(w.params())
 		return
 	}
-	w.opt = w.buildOptimizer()
+	// Non-rebinding optimizers are rebuilt lazily at the next Step (the
+	// rebuild starts from fresh state either way, and deferring it lets
+	// a configuration error surface as a MsgError reply).
+	w.opt = nil
 }
 
 // poolSize returns the effective executor-pool width.
@@ -134,6 +137,7 @@ func (w *Worker) Serve(conn interface {
 	send := func(m *wire.Message) error {
 		sendMu.Lock()
 		defer sendMu.Unlock()
+		//velavet:allow locklint -- sendMu only serializes reply writers on conn; Recv never takes it, so no send/recv cycle can wedge
 		if err := conn.Send(m); err != nil {
 			if sendErr == nil {
 				sendErr = err
@@ -264,7 +268,12 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 	case wire.MsgStep:
 		w.mu.Lock()
 		if w.opt == nil {
-			w.opt = w.buildOptimizer()
+			opt, err := w.buildOptimizer()
+			if err != nil {
+				w.mu.Unlock()
+				return errMsg(msg, err), false
+			}
+			w.opt = opt
 		}
 		w.opt.Step()
 		w.mu.Unlock()
@@ -299,6 +308,14 @@ func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix
 	if !ok {
 		return nil, fmt.Errorf("broker: worker %d does not host %v", w.ID, id)
 	}
+	// Validate the batch geometry against the expert's architecture
+	// before any nn code sees it: the nn layers treat a feature-width
+	// mismatch as a shape-precondition panic, which on a served request
+	// would take the whole worker down instead of producing a MsgError.
+	if spec := w.specs[id]; spec.D > 0 && msg.Tensors[0].Cols != spec.D {
+		return nil, fmt.Errorf("broker: worker %d: %v batch has %d features, expert %v expects %d",
+			w.ID, msg.Type, msg.Tensors[0].Cols, id, spec.D)
+	}
 	lk := w.locks[id]
 	lk.Lock()
 	defer lk.Unlock()
@@ -306,16 +323,18 @@ func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix
 }
 
 // buildOptimizer constructs the configured optimizer over all trainable
-// expert parameters. Called with w.mu held.
-func (w *Worker) buildOptimizer() nn.Optimizer {
+// expert parameters. Called with w.mu held. A misconfigured kind is
+// reported as an error (surfaced to the master as MsgError at the next
+// Step) rather than panicking the worker process.
+func (w *Worker) buildOptimizer() (nn.Optimizer, error) {
 	ps := w.params()
 	switch w.cfg.Optimizer {
 	case OptSGD:
-		return nn.NewSGD(ps, w.cfg.LR)
+		return nn.NewSGD(ps, w.cfg.LR), nil
 	case OptAdamW:
-		return nn.NewAdamW(ps, w.cfg.AdamW)
+		return nn.NewAdamW(ps, w.cfg.AdamW), nil
 	default:
-		panic(fmt.Sprintf("broker: unknown optimizer kind %d", w.cfg.Optimizer))
+		return nil, fmt.Errorf("broker: worker %d: unknown optimizer kind %d", w.ID, w.cfg.Optimizer)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/moe"
+	"repro/internal/testutil"
 	"repro/internal/trainer"
 )
 
@@ -45,7 +46,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			t.Fatalf("param %d name %q vs %q", i, ps1[i].Name, ps2[i].Name)
 		}
 		for j := range ps1[i].Value.Data {
-			if ps1[i].Value.Data[j] != ps2[i].Value.Data[j] {
+			if !testutil.BitEqual(ps1[i].Value.Data[j], ps2[i].Value.Data[j]) {
 				t.Fatalf("param %q[%d] differs", ps1[i].Name, j)
 			}
 		}
@@ -62,7 +63,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range y1.Data {
-		if y1.Data[i] != y2.Data[i] {
+		if !testutil.BitEqual(y1.Data[i], y2.Data[i]) {
 			t.Fatal("loaded model diverges from original")
 		}
 	}
@@ -153,7 +154,7 @@ func TestCheckpointResumesTraining(t *testing.T) {
 	l1 := run(m, grid)
 	l2 := run(m2, grid2)
 	for i := range l1 {
-		if l1[i] != l2[i] {
+		if !testutil.BitEqual(l1[i], l2[i]) {
 			t.Fatalf("step %d: loaded checkpoint diverges (%v vs %v)", i, l2[i], l1[i])
 		}
 	}

@@ -1,6 +1,10 @@
 package cluster
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
 
 func TestPaperTestbed(t *testing.T) {
 	topo := PaperTestbed(48)
@@ -25,11 +29,11 @@ func TestPaperTestbed(t *testing.T) {
 			t.Fatalf("device %d must be cross-node", n)
 		}
 	}
-	if topo.Bandwidth(0) != 18.3*GB || topo.Bandwidth(5) != 1.17*GB {
+	if !testutil.Close(topo.Bandwidth(0), 18.3*GB) || !testutil.Close(topo.Bandwidth(5), 1.17*GB) {
 		t.Fatalf("bandwidths drifted from the paper: %v / %v", topo.Bandwidth(0), topo.Bandwidth(5))
 	}
 	bs := topo.Bandwidths()
-	if len(bs) != 6 || bs[0] != topo.Bandwidth(0) {
+	if len(bs) != 6 || !testutil.BitEqual(bs[0], topo.Bandwidth(0)) {
 		t.Fatal("Bandwidths inconsistent")
 	}
 	nodes := topo.WorkerNodes()
@@ -52,7 +56,7 @@ func TestUniformTopology(t *testing.T) {
 	if topo.NumNodes() != 2 {
 		t.Fatalf("nodes = %d, want 2", topo.NumNodes())
 	}
-	if topo.Bandwidth(1) != 100 || topo.Bandwidth(2) != 10 {
+	if !testutil.Close(topo.Bandwidth(1), 100) || !testutil.Close(topo.Bandwidth(2), 10) {
 		t.Fatal("intra/inter classification wrong")
 	}
 }

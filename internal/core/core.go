@@ -103,7 +103,7 @@ func Deploy(model *moe.Model, grid [][]*moe.Expert, opts Options) (*System, erro
 		return nil, fmt.Errorf("core: Options.Stats is required (run trainer.Profile first)")
 	}
 	routings := opts.RoutingsPerStep
-	if routings == 0 {
+	if routings <= 0 {
 		routings = 8 * 224 * float64(cfg.TopK)
 	}
 	bitDepth := opts.BitDepth

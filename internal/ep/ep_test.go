@@ -9,6 +9,7 @@ import (
 	"repro/internal/moe"
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 func TestAllToAllDeliversEverything(t *testing.T) {
@@ -33,7 +34,7 @@ func TestAllToAllDeliversEverything(t *testing.T) {
 		for src := 0; src < R; src++ {
 			got := results[dst][src][0].Data[0]
 			want := float64(src*10 + dst)
-			if got != want {
+			if !testutil.Close(got, want) {
 				t.Fatalf("dst %d src %d: got %v want %v", dst, src, got, want)
 			}
 		}
@@ -62,7 +63,7 @@ func TestAllToAllMultipleRounds(t *testing.T) {
 				}
 				in := g.AllToAll(r, out)
 				for src := range in {
-					if in[src][0].Data[0] != float64(round) {
+					if !testutil.Close(in[src][0].Data[0], float64(round)) {
 						t.Errorf("round mixing: got %v want %d", in[src][0].Data[0], round)
 						return
 					}
@@ -114,7 +115,7 @@ func TestAllReduceMean(t *testing.T) {
 		}(r)
 	}
 	wg.Wait()
-	if params[0][0].Grad.Data[0] != 6 {
+	if !testutil.Close(params[0][0].Grad.Data[0], 6) {
 		t.Fatalf("second round wrong: %v", params[0][0].Grad.Data)
 	}
 }

@@ -315,20 +315,26 @@ func Theorem1(s Scale) (*TheoremResult, error) {
 	probeB := data.NewBatcher(data.Shakespeare(corpusSize(s)), batch, seqLen, 77)
 	probeIDs, _ := probeB.Next()
 
-	probe := func() *moe.Routing {
+	probe := func() (*moe.Routing, error) {
 		if _, err := m.Forward(probeIDs, batch, seqLen); err != nil {
-			panic(err)
+			return nil, err
 		}
-		return m.Layers[0].MoE.LastRouting()
+		return m.Layers[0].MoE.LastRouting(), nil
 	}
-	before := probe()
+	before, err := probe()
+	if err != nil {
+		return nil, err
+	}
 	beforeScores := before.Scores.Clone()
 
 	ft := trainer.NewLocalFinetuner(m, exec, data.NewBatcher(data.Shakespeare(corpusSize(s)), batch, seqLen, 35))
 	if _, err := ft.Step(); err != nil {
 		return nil, err
 	}
-	after := probe()
+	after, err := probe()
+	if err != nil {
+		return nil, err
+	}
 
 	res := &TheoremResult{SelectionOverlap: moe.SelectionOverlap(before, after)}
 	var confSum, confN, uncSum, uncN float64

@@ -37,6 +37,7 @@ func NewTraffic(n int, crossNode []bool) *Traffic {
 		crossNode = make([]bool, n)
 	}
 	if len(crossNode) != n {
+		//velavet:allow panicpolicy -- constructor precondition on caller-built topology slices
 		panic(fmt.Sprintf("metrics: crossNode length %d, want %d", len(crossNode), n))
 	}
 	return &Traffic{per: make([]WorkerTraffic, n), crossNode: append([]bool(nil), crossNode...)}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 func TestTrafficCounters(t *testing.T) {
@@ -65,7 +67,7 @@ func TestSeriesSummarize(t *testing.T) {
 		s.Append(v)
 	}
 	sum := s.Summarize()
-	if sum.N != 8 || sum.Mean != 5 || sum.Min != 2 || sum.Max != 9 {
+	if sum.N != 8 || !testutil.Close(sum.Mean, 5) || !testutil.Close(sum.Min, 2) || !testutil.Close(sum.Max, 9) {
 		t.Fatalf("summary wrong: %+v", sum)
 	}
 	if math.Abs(sum.Std-2) > 1e-12 {

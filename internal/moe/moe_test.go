@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 func TestGateRoutingBasics(t *testing.T) {
@@ -302,7 +303,7 @@ func TestModelForwardBackwardShapes(t *testing.T) {
 	if err := m.Backward(dlogits); err != nil {
 		t.Fatal(err)
 	}
-	if nn.GradNorm(m.Params()) == 0 {
+	if testutil.Close(nn.GradNorm(m.Params()), 0) {
 		t.Fatal("backbone gradient must be nonzero")
 	}
 }
@@ -431,7 +432,7 @@ func TestSelectionOverlap(t *testing.T) {
 	if got := SelectionOverlap(a, b); math.Abs(got-2.0/3.0) > 1e-12 {
 		t.Fatalf("overlap = %v, want 2/3", got)
 	}
-	if SelectionOverlap(&Routing{}, &Routing{}) != 0 {
+	if !testutil.Close(SelectionOverlap(&Routing{}, &Routing{}), 0) {
 		t.Fatal("empty routings must give 0")
 	}
 }
@@ -523,7 +524,7 @@ func TestTheorem1UncertaintyShape(t *testing.T) {
 	if confident >= uncertain/4 {
 		t.Fatalf("bound at p=0.95 (%v) should be far below p=0.5 (%v)", confident, uncertain)
 	}
-	if StabilityBound(1e-3, 2, 6, 0) != 0 || StabilityBound(1e-3, 2, 6, 1) != 0 {
+	if !testutil.Close(StabilityBound(1e-3, 2, 6, 0), 0) || !testutil.Close(StabilityBound(1e-3, 2, 6, 1), 0) {
 		t.Fatal("bound must vanish at p∈{0,1}")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 // scalarLoss is a deterministic scalar function of a tensor used as the
@@ -91,7 +92,7 @@ func TestLoRALinearGradcheck(t *testing.T) {
 	if l.W.Trainable {
 		t.Fatal("AttachLoRA must freeze the base weight")
 	}
-	if l.W.Grad.Norm() != 0 {
+	if !testutil.Close(l.W.Grad.Norm(), 0) {
 		t.Fatal("frozen base weight must not accumulate gradient")
 	}
 	assertClose(t, "lora.A", l.LoRA.A.Grad, numGrad(l.LoRA.A.Value, run), 1e-5)
@@ -107,7 +108,7 @@ func TestLoRAZeroInitIsIdentity(t *testing.T) {
 	l.AttachLoRA(rng, 2, 16)
 	after := l.Forward(x)
 	for i := range before.Data {
-		if before.Data[i] != after.Data[i] {
+		if !testutil.BitEqual(before.Data[i], after.Data[i]) {
 			t.Fatal("freshly attached LoRA (B=0) must not change the output")
 		}
 	}
@@ -218,7 +219,7 @@ func TestAttentionIsCausal(t *testing.T) {
 	y2 := a.Forward(x2, 1, seq)
 	for tk := 0; tk < seq-1; tk++ {
 		for j := 0; j < d; j++ {
-			if y1.At(tk, j) != y2.At(tk, j) {
+			if !testutil.BitEqual(y1.At(tk, j), y2.At(tk, j)) {
 				t.Fatalf("future token leaked into position %d", tk)
 			}
 		}
@@ -231,7 +232,7 @@ func TestEmbeddingForwardBackward(t *testing.T) {
 	ids := []int{1, 3, 1}
 	y := e.Forward(ids)
 	for j := 0; j < 4; j++ {
-		if y.At(0, j) != y.At(2, j) {
+		if !testutil.BitEqual(y.At(0, j), y.At(2, j)) {
 			t.Fatal("same id must embed identically")
 		}
 	}
@@ -239,13 +240,13 @@ func TestEmbeddingForwardBackward(t *testing.T) {
 	e.Backward(dy)
 	// Row 1 was used twice, so its gradient is 2 per element.
 	for j := 0; j < 4; j++ {
-		if e.Table.Grad.At(1, j) != 2 {
+		if !testutil.Close(e.Table.Grad.At(1, j), 2) {
 			t.Fatalf("grad for id 1 = %v, want 2", e.Table.Grad.At(1, j))
 		}
-		if e.Table.Grad.At(3, j) != 1 {
+		if !testutil.Close(e.Table.Grad.At(3, j), 1) {
 			t.Fatalf("grad for id 3 = %v, want 1", e.Table.Grad.At(3, j))
 		}
-		if e.Table.Grad.At(0, j) != 0 {
+		if !testutil.Close(e.Table.Grad.At(0, j), 0) {
 			t.Fatal("unused id must have zero gradient")
 		}
 	}
@@ -281,7 +282,7 @@ func TestSGDStep(t *testing.T) {
 	if math.Abs(p.Value.Data[0]-0.95) > 1e-12 || math.Abs(p.Value.Data[1]-2.05) > 1e-12 {
 		t.Fatalf("SGD step wrong: %v", p.Value.Data)
 	}
-	if frozen.Value.Data[0] != 7 {
+	if !testutil.Close(frozen.Value.Data[0], 7) {
 		t.Fatal("SGD must not touch frozen params")
 	}
 }
@@ -303,7 +304,7 @@ func TestAdamWConvergesOnQuadratic(t *testing.T) {
 
 func TestPaperAdamWConfig(t *testing.T) {
 	c := PaperAdamWConfig()
-	if c.LR != 3e-5 || c.Beta1 != 0.8 || c.Beta2 != 0.999 || c.Eps != 1e-8 || c.WeightDecay != 3e-7 {
+	if !testutil.Close(c.LR, 3e-5) || !testutil.Close(c.Beta1, 0.8) || !testutil.Close(c.Beta2, 0.999) || !testutil.Close(c.Eps, 1e-8) || !testutil.Close(c.WeightDecay, 3e-7) {
 		t.Fatalf("paper AdamW config drifted: %+v", c)
 	}
 }
@@ -323,7 +324,7 @@ func TestGradNormAndHelpers(t *testing.T) {
 		t.Fatal("CollectTrainable wrong")
 	}
 	ZeroGrads([]*Param{a, b})
-	if a.Grad.Norm() != 0 || b.Grad.Norm() != 0 {
+	if !testutil.Close(a.Grad.Norm(), 0) || !testutil.Close(b.Grad.Norm(), 0) {
 		t.Fatal("ZeroGrads failed")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 // mkParam builds a trainable parameter with deterministic values and a
@@ -44,7 +45,7 @@ func TestAdamWRebindPreservesMoments(t *testing.T) {
 	ref.Step()
 
 	for i := range survivor.Value.Data {
-		if survivor.Value.Data[i] != control.Value.Data[i] {
+		if !testutil.BitEqual(survivor.Value.Data[i], control.Value.Data[i]) {
 			t.Fatalf("survivor diverged after rebind at %d: %.18g vs %.18g",
 				i, survivor.Value.Data[i], control.Value.Data[i])
 		}
@@ -54,7 +55,7 @@ func TestAdamWRebindPreservesMoments(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	fresh := tensor.Randn(rng, 1, 4)
 	for i := range newcomer.Value.Data {
-		if newcomer.Value.Data[i] != fresh.Data[i] {
+		if !testutil.BitEqual(newcomer.Value.Data[i], fresh.Data[i]) {
 			moved = true
 		}
 	}
@@ -76,7 +77,7 @@ func TestAdamWRebindIgnoresFrozenParams(t *testing.T) {
 	opt.Step()
 
 	for i, v := range frozen.Value.Data {
-		if v != before[i] {
+		if !testutil.BitEqual(v, before[i]) {
 			t.Fatal("frozen parameter updated after rebind")
 		}
 	}
@@ -92,13 +93,13 @@ func TestSGDRebind(t *testing.T) {
 	bBefore := append([]float64(nil), b.Value.Data...)
 	opt.Step()
 	for i, v := range a.Value.Data {
-		if v != aBefore[i] {
+		if !testutil.BitEqual(v, aBefore[i]) {
 			t.Fatal("dropped parameter still updated after SGD rebind")
 		}
 	}
 	changed := false
 	for i, v := range b.Value.Data {
-		if v != bBefore[i] {
+		if !testutil.BitEqual(v, bBefore[i]) {
 			changed = true
 		}
 	}

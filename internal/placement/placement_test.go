@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/testutil"
 )
 
 // testProblem builds a placement problem on the paper's testbed with a
@@ -163,11 +164,11 @@ func TestEvaluateManual(t *testing.T) {
 		t.Fatalf("bottleneck = %d, want 0", m.BottleneckWorker[0])
 	}
 	// WorkerBytes: 4 transfers × one-way bytes.
-	if m.WorkerBytes[0] != 12 || m.WorkerBytes[1] != 4 {
+	if !testutil.Close(m.WorkerBytes[0], 12) || !testutil.Close(m.WorkerBytes[1], 4) {
 		t.Fatalf("WorkerBytes = %v", m.WorkerBytes)
 	}
 	// Cross-node: only worker1 (node 1) counts → 4 bytes over 2 nodes.
-	if m.CrossNodeBytes != 4 || m.CrossNodeBytesPerNode != 2 {
+	if !testutil.Close(m.CrossNodeBytes, 4) || !testutil.Close(m.CrossNodeBytesPerNode, 2) {
 		t.Fatalf("cross-node = %v / %v", m.CrossNodeBytes, m.CrossNodeBytesPerNode)
 	}
 }
@@ -432,10 +433,10 @@ func TestAssignmentValidate(t *testing.T) {
 }
 
 func TestImprovement(t *testing.T) {
-	if Improvement(100, 75) != 0.25 {
+	if !testutil.Close(Improvement(100, 75), 0.25) {
 		t.Fatal("Improvement(100,75) should be 0.25")
 	}
-	if Improvement(0, 10) != 0 {
+	if !testutil.Close(Improvement(0, 10), 0) {
 		t.Fatal("zero baseline must yield 0")
 	}
 }

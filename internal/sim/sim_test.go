@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/placement"
+	"repro/internal/testutil"
 	"repro/internal/workload"
 )
 
@@ -22,7 +23,7 @@ func TestPaperConfigValid(t *testing.T) {
 	if cfg.Layers != 32 || cfg.Experts != 8 || cfg.TopK != 2 {
 		t.Fatalf("geometry drifted from Mixtral: %+v", cfg)
 	}
-	if cfg.BytesPerToken() != 8192 {
+	if !testutil.Close(cfg.BytesPerToken(), 8192) {
 		t.Fatalf("bytes/token = %v, want 8192 (H=4096 at 16-bit)", cfg.BytesPerToken())
 	}
 	if cfg.RoutingsPerStep() != cfg.TokensPerStep*2 {
@@ -60,7 +61,7 @@ func TestRunVelaDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range r1.TrafficMB.Values {
-		if r1.TrafficMB.Values[i] != r2.TrafficMB.Values[i] {
+		if !testutil.BitEqual(r1.TrafficMB.Values[i], r2.TrafficMB.Values[i]) {
 			t.Fatal("simulation must be deterministic")
 		}
 	}

@@ -258,6 +258,7 @@ func (t *Tensor) MatMul(o *Tensor) *Tensor {
 		ti := t.Data[i*k : (i+1)*k]
 		for p := 0; p < k; p++ {
 			a := ti[p]
+			//velavet:allow floateq -- sparsity fast path: skipping exact zeros is an optimization, not a numeric comparison
 			if a == 0 {
 				continue
 			}
@@ -310,6 +311,7 @@ func (t *Tensor) TMatMul(o *Tensor) *Tensor {
 		op := o.Data[p*m : (p+1)*m]
 		for i := 0; i < n; i++ {
 			a := tp[i]
+			//velavet:allow floateq -- sparsity fast path: skipping exact zeros is an optimization, not a numeric comparison
 			if a == 0 {
 				continue
 			}

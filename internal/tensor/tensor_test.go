@@ -5,10 +5,12 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 func almostEqual(a, b, eps float64) bool {
-	return math.Abs(a-b) <= eps
+	return testutil.AlmostEqual(a, b, eps)
 }
 
 func TestNewAndShape(t *testing.T) {
@@ -16,11 +18,11 @@ func TestNewAndShape(t *testing.T) {
 	if x.Rows() != 2 || x.Cols() != 3 || x.Len() != 6 || x.Dims() != 2 {
 		t.Fatalf("unexpected shape: %v", x.Shape())
 	}
-	if x.At(1, 2) != 6 {
+	if !testutil.Close(x.At(1, 2), 6) {
 		t.Fatalf("At(1,2) = %v, want 6", x.At(1, 2))
 	}
 	x.Set(9, 0, 1)
-	if x.At(0, 1) != 9 {
+	if !testutil.Close(x.At(0, 1), 9) {
 		t.Fatalf("Set/At roundtrip failed")
 	}
 }
@@ -48,7 +50,7 @@ func TestRowIsView(t *testing.T) {
 	x := Zeros(3, 4)
 	r := x.Row(1)
 	r[2] = 7
-	if x.At(1, 2) != 7 {
+	if !testutil.Close(x.At(1, 2), 7) {
 		t.Fatal("Row must return a view into the tensor data")
 	}
 }
@@ -57,7 +59,7 @@ func TestCloneIsDeep(t *testing.T) {
 	x := Full(2, 2, 2)
 	y := x.Clone()
 	y.Data[0] = 99
-	if x.Data[0] != 2 {
+	if !testutil.Close(x.Data[0], 2) {
 		t.Fatal("Clone must not share data")
 	}
 }
@@ -66,7 +68,7 @@ func TestReshapeSharesData(t *testing.T) {
 	x := New([]float64{1, 2, 3, 4}, 2, 2)
 	y := x.Reshape(4)
 	y.Data[3] = 9
-	if x.At(1, 1) != 9 {
+	if !testutil.Close(x.At(1, 1), 9) {
 		t.Fatal("Reshape must share data")
 	}
 	defer func() {
@@ -80,31 +82,31 @@ func TestReshapeSharesData(t *testing.T) {
 func TestElementwiseOps(t *testing.T) {
 	a := New([]float64{1, 2, 3, 4}, 2, 2)
 	b := New([]float64{5, 6, 7, 8}, 2, 2)
-	if got := a.Add(b).Data; got[0] != 6 || got[3] != 12 {
+	if got := a.Add(b).Data; !testutil.Close(got[0], 6) || !testutil.Close(got[3], 12) {
 		t.Fatalf("Add wrong: %v", got)
 	}
-	if got := b.Sub(a).Data; got[0] != 4 || got[3] != 4 {
+	if got := b.Sub(a).Data; !testutil.Close(got[0], 4) || !testutil.Close(got[3], 4) {
 		t.Fatalf("Sub wrong: %v", got)
 	}
-	if got := a.Mul(b).Data; got[0] != 5 || got[3] != 32 {
+	if got := a.Mul(b).Data; !testutil.Close(got[0], 5) || !testutil.Close(got[3], 32) {
 		t.Fatalf("Mul wrong: %v", got)
 	}
-	if got := a.Scale(2).Data; got[0] != 2 || got[3] != 8 {
+	if got := a.Scale(2).Data; !testutil.Close(got[0], 2) || !testutil.Close(got[3], 8) {
 		t.Fatalf("Scale wrong: %v", got)
 	}
 	c := a.Clone()
 	c.AddInPlace(b)
-	if c.Data[0] != 6 {
+	if !testutil.Close(c.Data[0], 6) {
 		t.Fatalf("AddInPlace wrong: %v", c.Data)
 	}
 	d := a.Clone()
 	d.AxpyInPlace(2, b)
-	if d.Data[0] != 11 {
+	if !testutil.Close(d.Data[0], 11) {
 		t.Fatalf("AxpyInPlace wrong: %v", d.Data)
 	}
 	e := a.Clone()
 	e.ScaleInPlace(3)
-	if e.Data[3] != 12 {
+	if !testutil.Close(e.Data[3], 12) {
 		t.Fatalf("ScaleInPlace wrong: %v", e.Data)
 	}
 }
@@ -126,7 +128,7 @@ func TestMatMul(t *testing.T) {
 	c := a.MatMul(b)
 	want := []float64{58, 64, 139, 154}
 	for i, w := range want {
-		if c.Data[i] != w {
+		if !testutil.Close(c.Data[i], w) {
 			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], w)
 		}
 	}
@@ -165,7 +167,7 @@ func TestTransposeInvolution(t *testing.T) {
 	a := Randn(rng, 1, 3, 5)
 	b := a.Transpose().Transpose()
 	for i := range a.Data {
-		if a.Data[i] != b.Data[i] {
+		if !testutil.BitEqual(a.Data[i], b.Data[i]) {
 			t.Fatal("transpose twice must be identity")
 		}
 	}
@@ -219,17 +221,17 @@ func TestSoftmaxPropertySumsToOne(t *testing.T) {
 
 func TestReductions(t *testing.T) {
 	x := New([]float64{3, -4, 0, 1}, 4)
-	if x.Sum() != 0 {
+	if !testutil.Close(x.Sum(), 0) {
 		t.Fatalf("Sum = %v, want 0", x.Sum())
 	}
 	if !almostEqual(x.Norm(), math.Sqrt(26), 1e-12) {
 		t.Fatalf("Norm = %v", x.Norm())
 	}
-	if x.MaxAbs() != 4 {
+	if !testutil.Close(x.MaxAbs(), 4) {
 		t.Fatalf("MaxAbs = %v, want 4", x.MaxAbs())
 	}
 	y := New([]float64{1, 1, 1, 1}, 4)
-	if x.Dot(y) != 0 {
+	if !testutil.Close(x.Dot(y), 0) {
 		t.Fatalf("Dot = %v, want 0", x.Dot(y))
 	}
 }
@@ -270,7 +272,7 @@ func TestRandnDeterministic(t *testing.T) {
 	a := Randn(rand.New(rand.NewSource(7)), 0.5, 10)
 	b := Randn(rand.New(rand.NewSource(7)), 0.5, 10)
 	for i := range a.Data {
-		if a.Data[i] != b.Data[i] {
+		if !testutil.BitEqual(a.Data[i], b.Data[i]) {
 			t.Fatal("Randn must be deterministic for a fixed seed")
 		}
 	}
@@ -279,11 +281,11 @@ func TestRandnDeterministic(t *testing.T) {
 func TestZeroAndFill(t *testing.T) {
 	x := Full(3, 2, 2)
 	x.Zero()
-	if x.Sum() != 0 {
+	if !testutil.Close(x.Sum(), 0) {
 		t.Fatal("Zero failed")
 	}
 	x.Fill(1.5)
-	if x.Sum() != 6 {
+	if !testutil.Close(x.Sum(), 6) {
 		t.Fatal("Fill failed")
 	}
 }

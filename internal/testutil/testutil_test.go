@@ -1,0 +1,60 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{math.Inf(1), math.Inf(1), 0, true},
+		{math.Inf(1), math.Inf(-1), 1e300, false},
+		{math.NaN(), math.NaN(), math.Inf(1), false},
+		{math.NaN(), 0, math.Inf(1), false},
+		{0, math.Copysign(0, -1), 0, true},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestClose(t *testing.T) {
+	if !Close(2, 2+1e-12) {
+		t.Fatal("Close must absorb sub-tolerance rounding")
+	}
+	if Close(2, 2+1e-6) {
+		t.Fatal("Close must reject super-tolerance differences")
+	}
+}
+
+func TestSlicesAlmostEqual(t *testing.T) {
+	if !SlicesAlmostEqual([]float64{1, 2}, []float64{1, 2 + 1e-12}, 1e-9) {
+		t.Fatal("equal slices rejected")
+	}
+	if SlicesAlmostEqual([]float64{1}, []float64{1, 2}, 1) {
+		t.Fatal("length mismatch accepted")
+	}
+	if SlicesAlmostEqual([]float64{1, 2}, []float64{1, 3}, 1e-9) {
+		t.Fatal("diverging slices accepted")
+	}
+}
+
+func TestBitEqual(t *testing.T) {
+	if !BitEqual(math.NaN(), math.NaN()) {
+		t.Fatal("BitEqual must treat identical NaN payloads as equal")
+	}
+	if BitEqual(0, math.Copysign(0, -1)) {
+		t.Fatal("BitEqual must distinguish +0 and -0")
+	}
+	if !BitEqual(3.5, 3.5) {
+		t.Fatal("identical values rejected")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/moe"
 	"repro/internal/nn"
+	"repro/internal/testutil"
 )
 
 // tinyCfg is a fast test geometry (full TinyMistral runs live in the
@@ -55,7 +56,7 @@ func TestBuildPretrainedDeterministic(t *testing.T) {
 	p1, p2 := m1.Params(), m2.Params()
 	for i := range p1 {
 		for j := range p1[i].Value.Data {
-			if p1[i].Value.Data[j] != p2[i].Value.Data[j] {
+			if !testutil.BitEqual(p1[i].Value.Data[j], p2[i].Value.Data[j]) {
 				t.Fatal("checkpoints must be bit-identical for a fixed seed")
 			}
 		}
@@ -189,7 +190,7 @@ func TestFinetuneOnlyMovesAdapters(t *testing.T) {
 	for _, p := range m.Params() {
 		if want, ok := snapshot[p.Name]; ok {
 			for i := range want {
-				if p.Value.Data[i] != want[i] {
+				if !testutil.BitEqual(p.Value.Data[i], want[i]) {
 					t.Fatalf("frozen param %q moved during fine-tuning", p.Name)
 				}
 			}
@@ -201,7 +202,7 @@ func TestFinetuneOnlyMovesAdapters(t *testing.T) {
 	}
 	changed := false
 	for i := range loraBefore {
-		if loraBefore[i] != loraAfter[i] {
+		if !testutil.BitEqual(loraBefore[i], loraAfter[i]) {
 			changed = true
 			break
 		}
@@ -213,7 +214,7 @@ func TestFinetuneOnlyMovesAdapters(t *testing.T) {
 
 func TestPaperLoRAConfig(t *testing.T) {
 	l := PaperLoRA()
-	if l.Rank != 8 || l.Alpha != 16 {
+	if l.Rank != 8 || !testutil.Close(l.Alpha, 16) {
 		t.Fatalf("paper LoRA drifted: %+v", l)
 	}
 }

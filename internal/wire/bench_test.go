@@ -19,7 +19,7 @@ func BenchmarkEncodeFull(b *testing.B) {
 	m := benchMessage(false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = Encode(m)
+		mustEncode(b, m)
 	}
 }
 
@@ -27,12 +27,12 @@ func BenchmarkEncodeHalf(b *testing.B) {
 	m := benchMessage(true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = Encode(m)
+		mustEncode(b, m)
 	}
 }
 
 func BenchmarkDecodeFull(b *testing.B) {
-	body := Encode(benchMessage(false))[4:]
+	body := mustEncode(b, benchMessage(false))[4:]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Decode(body); err != nil {

@@ -5,6 +5,17 @@ import (
 	"testing"
 )
 
+// mustEncode encodes m or fails the test — the fixtures are all
+// internally consistent, so an error here is a codec bug.
+func mustEncode(tb testing.TB, m *Message) []byte {
+	tb.Helper()
+	buf, err := Encode(m)
+	if err != nil {
+		tb.Fatalf("Encode(%v): %v", m.Type, err)
+	}
+	return buf
+}
+
 // adversarialTensorFrame hand-crafts a frame body whose single tensor
 // header claims the given rows/cols/encoding over an (almost) empty
 // payload.
@@ -67,7 +78,7 @@ func TestDecodeAcceptsDegenerateTensors(t *testing.T) {
 		{Type: MsgForward, Tensors: []Matrix{{Rows: 5, Cols: 0, Data: []float64{}}}},
 		{Type: MsgForward, Tensors: []Matrix{{Rows: 0, Cols: 0, Data: []float64{}}}},
 	} {
-		got, err := Decode(Encode(m)[4:])
+		got, err := Decode(mustEncode(t, m)[4:])
 		if err != nil {
 			t.Fatalf("degenerate tensor %dx%d rejected: %v", m.Tensors[0].Rows, m.Tensors[0].Cols, err)
 		}
@@ -80,11 +91,11 @@ func TestDecodeAcceptsDegenerateTensors(t *testing.T) {
 // FuzzDecode throws arbitrary bodies at the decoder: it must never panic
 // or allocate unboundedly, and everything it accepts must re-encode.
 func FuzzDecode(f *testing.F) {
-	f.Add(Encode(&Message{Type: MsgStep})[4:])
-	f.Add(Encode(&Message{Type: MsgError, Text: "boom"})[4:])
-	f.Add(Encode(&Message{Type: MsgForward, Layer: 1, Expert: 2, Seq: 3,
+	f.Add(mustEncode(f, &Message{Type: MsgStep})[4:])
+	f.Add(mustEncode(f, &Message{Type: MsgError, Text: "boom"})[4:])
+	f.Add(mustEncode(f, &Message{Type: MsgForward, Layer: 1, Expert: 2, Seq: 3,
 		Tensors: []Matrix{{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}}})[4:])
-	f.Add(Encode(&Message{Type: MsgBackward,
+	f.Add(mustEncode(f, &Message{Type: MsgBackward,
 		Tensors: []Matrix{{Rows: 1, Cols: 3, Data: []float64{1, 2, 3}, Half: true}}})[4:])
 	f.Add(adversarialTensorFrame(1<<30, 1<<30, 0, 16))
 	f.Add(adversarialTensorFrame(0xFFFFFFFF, 2, 1, 64))
@@ -94,12 +105,14 @@ func FuzzDecode(f *testing.F) {
 			return
 		}
 		// Accepted frames must be internally consistent and re-encodable
-		// (Encode panics on rows×cols ≠ len(data)).
+		// (Encode rejects rows×cols ≠ len(data)).
 		for i, tr := range m.Tensors {
 			if tr.Rows*tr.Cols != len(tr.Data) {
 				t.Fatalf("tensor %d inconsistent: %dx%d with %d values", i, tr.Rows, tr.Cols, len(tr.Data))
 			}
 		}
-		_ = Encode(m)
+		if _, err := Encode(m); err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
 	})
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 func TestHalfExactValues(t *testing.T) {
@@ -38,7 +40,7 @@ func TestHalfRoundTripExactForRepresentable(t *testing.T) {
 	// exactly.
 	for _, v := range []float64{1, 1.5, 0.25, 3.140625, -100, 2048, 0.0009765625} {
 		got := HalfToFloat64(Float64ToHalf(v))
-		if got != v {
+		if !testutil.BitEqual(got, v) {
 			t.Fatalf("round trip %v -> %v", v, got)
 		}
 	}
@@ -70,7 +72,7 @@ func TestHalfSubnormals(t *testing.T) {
 	if h != 0x0001 {
 		t.Fatalf("2^-24 encodes as %#04x, want 0x0001", h)
 	}
-	if got := HalfToFloat64(h); got != tiny {
+	if got := HalfToFloat64(h); !testutil.BitEqual(got, tiny) {
 		t.Fatalf("subnormal round trip: %v vs %v", got, tiny)
 	}
 	// Below half the smallest subnormal flushes to zero.

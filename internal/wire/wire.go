@@ -119,13 +119,19 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 const MaxFrameSize = 1 << 30
 
 // Encode serializes m into a self-contained frame (including the length
-// prefix).
-func Encode(m *Message) []byte {
+// prefix). A matrix whose Rows×Cols disagrees with its data length is
+// reported as an error: silently encoding it would hand the peer an
+// undecodable frame, and panicking would take down whichever runtime
+// process tried to send it.
+func Encode(m *Message) ([]byte, error) {
 	// Compute body size: type(1) + layer(4) + expert(4) + seq(8) +
 	// textLen(4)+text + ntensors(4) + per tensor
 	// rows(4)+cols(4)+encoding(1)+data.
 	body := 1 + 4 + 4 + 8 + 4 + len(m.Text) + 4
-	for _, t := range m.Tensors {
+	for i, t := range m.Tensors {
+		if t.Rows*t.Cols != len(t.Data) {
+			return nil, fmt.Errorf("wire: tensor %d is %dx%d with %d values", i, t.Rows, t.Cols, len(t.Data))
+		}
 		body += 9 // rows, cols, encoding byte
 		if t.Half {
 			body += 2 * len(t.Data)
@@ -151,9 +157,6 @@ func Encode(m *Message) []byte {
 	binary.LittleEndian.PutUint32(buf[off:], uint32(len(m.Tensors)))
 	off += 4
 	for _, t := range m.Tensors {
-		if t.Rows*t.Cols != len(t.Data) {
-			panic(fmt.Sprintf("wire: matrix %dx%d with %d values", t.Rows, t.Cols, len(t.Data)))
-		}
 		binary.LittleEndian.PutUint32(buf[off:], uint32(t.Rows))
 		off += 4
 		binary.LittleEndian.PutUint32(buf[off:], uint32(t.Cols))
@@ -176,7 +179,7 @@ func Encode(m *Message) []byte {
 			}
 		}
 	}
-	return buf
+	return buf, nil
 }
 
 // Decode parses one frame body (without the 4-byte length prefix).
@@ -258,11 +261,14 @@ func Decode(body []byte) (*Message, error) {
 
 // WriteFrame writes a full frame for m to w.
 func WriteFrame(w io.Writer, m *Message) error {
-	buf := Encode(m)
+	buf, err := Encode(m)
+	if err != nil {
+		return err
+	}
 	if len(buf) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	_, err := w.Write(buf)
+	_, err = w.Write(buf)
 	return err
 }
 

@@ -21,7 +21,7 @@ func TestRoundTripAllFields(t *testing.T) {
 			{Rows: 1, Cols: 1, Data: []float64{math.Pi}},
 		},
 	}
-	got, err := Decode(Encode(m)[4:])
+	got, err := Decode(mustEncode(t, m)[4:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestRoundTripAllFields(t *testing.T) {
 
 func TestRoundTripEmpty(t *testing.T) {
 	m := &Message{Type: MsgStep}
-	got, err := Decode(Encode(m)[4:])
+	got, err := Decode(mustEncode(t, m)[4:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestRoundTripEmpty(t *testing.T) {
 
 func TestRoundTripNegativeLayer(t *testing.T) {
 	m := &Message{Type: MsgAck, Layer: -1, Expert: -1}
-	got, err := Decode(Encode(m)[4:])
+	got, err := Decode(mustEncode(t, m)[4:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestWriteReadFrame(t *testing.T) {
 
 func TestDecodeRejectsTruncation(t *testing.T) {
 	m := &Message{Type: MsgForward, Tensors: []Matrix{{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}}}
-	full := Encode(m)[4:]
+	full := mustEncode(t, m)[4:]
 	for _, cut := range []int{1, 10, len(full) - 1} {
 		if cut >= len(full) {
 			continue
@@ -90,19 +90,17 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 
 func TestDecodeRejectsTrailingGarbage(t *testing.T) {
 	m := &Message{Type: MsgAck}
-	body := append(Encode(m)[4:], 0xFF)
+	body := append(mustEncode(t, m)[4:], 0xFF)
 	if _, err := Decode(body); err == nil {
 		t.Fatal("trailing bytes not detected")
 	}
 }
 
-func TestEncodePanicsOnBadMatrix(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for inconsistent matrix")
-		}
-	}()
-	Encode(&Message{Type: MsgForward, Tensors: []Matrix{{Rows: 2, Cols: 2, Data: []float64{1}}}})
+func TestEncodeRejectsBadMatrix(t *testing.T) {
+	_, err := Encode(&Message{Type: MsgForward, Tensors: []Matrix{{Rows: 2, Cols: 2, Data: []float64{1}}}})
+	if err == nil {
+		t.Fatal("expected error for inconsistent matrix")
+	}
 }
 
 func TestPayloadFloats(t *testing.T) {
@@ -135,7 +133,7 @@ func TestRoundTripProperty(t *testing.T) {
 			Type: MsgBackward, Layer: layer, Expert: expert, Seq: seq, Text: text,
 			Tensors: []Matrix{{Rows: r, Cols: c, Data: data}},
 		}
-		got, err := Decode(Encode(m)[4:])
+		got, err := Decode(mustEncode(t, m)[4:])
 		if err != nil {
 			return false
 		}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 func TestMatrixRowsSumToOne(t *testing.T) {
@@ -35,7 +37,7 @@ func TestMatrixDeterministic(t *testing.T) {
 	b := MixtralWikiText.Matrix()
 	for l := range a {
 		for e := range a[l] {
-			if a[l][e] != b[l][e] {
+			if !testutil.BitEqual(a[l][e], b[l][e]) {
 				t.Fatal("Matrix must be deterministic")
 			}
 		}
