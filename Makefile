@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench check
+.PHONY: build test vet lint race bench bench-all check
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,17 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# Tensor-engine benchmark gate: runs the compute hot-path benches
+# (kernels, layers) with allocation counts and writes the machine-readable
+# summary to BENCH_tensor.json. -run='^$$' skips tests so the artifact is
+# pure bench data; benchjson mirrors the human-readable stream to stderr.
 bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/tensor ./internal/nn \
+		| $(GO) run ./cmd/benchjson > BENCH_tensor.json
+
+# The original whole-repo benchmark sweep, including the paper-figure
+# reproductions in the root package.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Pre-merge gate: vet + velavet + full race-enabled test suite.

@@ -1,0 +1,95 @@
+// benchjson converts `go test -bench` output on stdin into a JSON object
+// on stdout, keyed by benchmark name:
+//
+//	go test -bench=. -benchmem ./internal/tensor | go run ./cmd/benchjson
+//
+//	{
+//	  "BenchmarkMatMul128": {"ns_op": 1688239, "b_op": 131072, "allocs_op": 4},
+//	  ...
+//	}
+//
+// Custom metrics reported with b.ReportMetric (e.g. "speedup") are kept
+// under their own unit name. Non-benchmark lines (ok/PASS/goos/...) are
+// ignored, so the tool can sit directly behind `make bench` without any
+// grep. Stdlib only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	results := map[string]map[string]float64{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Mirror benches to stderr so the human-readable stream survives
+		// the pipe into this tool.
+		fmt.Fprintln(os.Stderr, line)
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the -N GOMAXPROCS suffix go test appends to the name.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m, seen := results[name]
+		if !seen {
+			m = map[string]float64{}
+			results[name] = m
+			order = append(order, name)
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				m["ns_op"] = v
+			case "B/op":
+				m["b_op"] = v
+			case "allocs/op":
+				m["allocs_op"] = v
+			default:
+				m[strings.ReplaceAll(unit, "/", "_")] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	// Emit in first-seen order via an ordered re-marshal: build a JSON
+	// object by hand so diffs of the artifact stay stable run to run.
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range order {
+		entry, err := json.Marshal(results[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, entry)
+		if i < len(order)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	os.Stdout.WriteString(b.String())
+}

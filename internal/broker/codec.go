@@ -94,6 +94,16 @@ func matrixOf(t *tensor.Tensor) wire.Matrix {
 	return wire.Matrix{Rows: 1, Cols: t.Len(), Data: t.Data}
 }
 
+// matrixCopyOf is matrixOf with the data copied out. Required for reply
+// payloads built from a layer's step-persistent output buffer: the buffer
+// is overwritten by the expert's next request, which over the in-process
+// transport may happen while the master is still reading this reply.
+func matrixCopyOf(t *tensor.Tensor) wire.Matrix {
+	m := matrixOf(t)
+	m.Data = append([]float64(nil), m.Data...)
+	return m
+}
+
 // tensorOf converts a wire matrix into a tensor.
 func tensorOf(m wire.Matrix) *tensor.Tensor {
 	return tensor.New(m.Data, m.Rows, m.Cols)

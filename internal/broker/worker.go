@@ -227,8 +227,11 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 
 	case wire.MsgForward:
 		out, err := w.runExpert(msg, func(e *moe.Expert) (*wire.Matrix, error) {
+			// The copy is load-bearing: y is the expert's reused output
+			// buffer, and the master may still be reading this reply when
+			// the expert's next request overwrites it.
 			y := e.Forward(tensorOf(msg.Tensors[0]))
-			m := matrixOf(y)
+			m := matrixCopyOf(y)
 			if msg.Tensors[0].Half { // mirror the request's encoding
 				wire.QuantizeHalfInPlace(m.Data)
 				m.Half = true
@@ -243,8 +246,10 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 
 	case wire.MsgBackward:
 		out, err := w.runExpert(msg, func(e *moe.Expert) (*wire.Matrix, error) {
+			// Same as MsgForward: dx is a reused buffer, so the reply
+			// must carry its own copy.
 			dx := e.Backward(tensorOf(msg.Tensors[0]))
-			m := matrixOf(dx)
+			m := matrixCopyOf(dx)
 			if msg.Tensors[0].Half { // mirror the request's encoding
 				wire.QuantizeHalfInPlace(m.Data)
 				m.Half = true

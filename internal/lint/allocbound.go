@@ -7,13 +7,15 @@ import (
 	"strings"
 )
 
-// AllocBound enforces the wire decoder's allocation invariant from
-// PR 1's overflow fix: a `make` whose length derives from a decoded
-// wire-header field (a binary.LittleEndian/BigEndian integer read, or a
-// Rows/Cols header field of a wire matrix) must be preceded by a bounds
-// check on that value. Without the check a hostile or corrupted frame
-// drives a multi-GiB allocation — or an int-overflowing rows×cols
-// product that slips past a later check — before any validation runs.
+// AllocBound enforces two allocation invariants.
+//
+// First, the wire decoder's invariant from PR 1's overflow fix: a `make`
+// whose length derives from a decoded wire-header field (a
+// binary.LittleEndian/BigEndian integer read, or a Rows/Cols header field
+// of a wire matrix) must be preceded by a bounds check on that value.
+// Without the check a hostile or corrupted frame drives a multi-GiB
+// allocation — or an int-overflowing rows×cols product that slips past a
+// later check — before any validation runs.
 //
 // The analysis is per-function taint tracking along the statement list:
 // values read via encoding/binary or from wire header fields are
@@ -21,22 +23,101 @@ import (
 // the taint (the code looked at the value before trusting it); a `make`
 // sized by a still-tainted value is reported. Taint propagates through
 // assignment, conversion and arithmetic.
+//
+// Second, the per-step hot-path invariant from the parallel tensor
+// engine (DESIGN.md §11): inside a function named Forward, Backward,
+// Step or runExpert, calling an allocating tensor-op variant (MatMul,
+// Add, Scale, …) is a finding — those paths run every training step and
+// must use the destination-passing (*Into), in-place, or arena APIs. A
+// deliberate allocation (e.g. a result that escapes the step) is
+// annotated //velavet:allow allocbound with the reason.
 var AllocBound = &Analyzer{
 	Name:       "allocbound",
-	Doc:        "make() sized by a decoded wire-header value without a preceding bounds check",
-	Components: []string{"wire", "broker"},
+	Doc:        "unchecked wire-header make(), or allocating tensor ops in per-step hot paths",
+	Components: []string{"wire", "broker", "tensor", "nn", "moe"},
 	Run:        runAllocBound,
+}
+
+// hotPathFuncs are the per-step function names in which allocating
+// tensor ops are banned. Matching is exact: ForwardExperts, gateBackward
+// etc. are dispatch/cold paths, not the per-token compute loop.
+var hotPathFuncs = map[string]bool{
+	"Forward":   true,
+	"Backward":  true,
+	"Step":      true,
+	"runExpert": true,
+}
+
+// allocatingTensorMethods are the tensor.Tensor methods that allocate
+// their result; each has a non-allocating *Into or in-place counterpart.
+var allocatingTensorMethods = map[string]bool{
+	"MatMul":      true,
+	"MatMulT":     true,
+	"TMatMul":     true,
+	"Transpose":   true,
+	"Add":         true,
+	"Sub":         true,
+	"Mul":         true,
+	"Scale":       true,
+	"SoftmaxRows": true,
 }
 
 func runAllocBound(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-				ts := taintScan{pass: pass, tainted: map[types.Object]token.Pos{}}
-				ts.block(fd.Body)
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ts := taintScan{pass: pass, tainted: map[types.Object]token.Pos{}}
+			ts.block(fd.Body)
+			if hotPathFuncs[fd.Name.Name] && !isTestFile(pass.Fset(), fd.Pos()) {
+				checkHotPathAllocs(pass, fd)
 			}
 		}
 	}
+}
+
+// checkHotPathAllocs reports allocating tensor-op calls anywhere inside
+// a hot-path function, including in function literals it contains.
+func checkHotPathAllocs(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !allocatingTensorMethods[sel.Sel.Name] {
+			return true
+		}
+		if !isTensorValue(pass.Info(), sel.X) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"allocating tensor op %s in per-step hot path %s — use the Into/in-place/arena variant, or annotate //velavet:allow allocbound with why the allocation must escape",
+			sel.Sel.Name, fd.Name.Name)
+		return true
+	})
+}
+
+// isTensorValue reports whether e's static type is the Tensor type of a
+// tensor package (matched by name and import-path component, like the
+// wire.Matrix match below, so the fixture's mini tensor package counts).
+func isTensorValue(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Name() != "Tensor" {
+		return false
+	}
+	for _, comp := range strings.Split(n.Obj().Pkg().Path(), "/") {
+		if comp == "tensor" {
+			return true
+		}
+	}
+	return false
 }
 
 type taintScan struct {

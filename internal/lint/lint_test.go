@@ -2,8 +2,12 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -133,7 +137,10 @@ func TestAnalyzerScoping(t *testing.T) {
 		{LockLint, "repro/internal/transport", false},
 		{AllocBound, "repro/internal/wire", true},
 		{AllocBound, "repro/internal/broker", true},
-		{AllocBound, "repro/internal/moe", false},
+		{AllocBound, "repro/internal/tensor", true},
+		{AllocBound, "repro/internal/nn", true},
+		{AllocBound, "repro/internal/moe", true},
+		{AllocBound, "repro/internal/trainer", false},
 		{FloatEq, "repro/internal/anything", true},
 	}
 	for _, c := range cases {
@@ -161,6 +168,36 @@ func TestMalformedAllowDirectiveIsReported(t *testing.T) {
 	d.Pos.Filename = "nope.go"
 	if s.covers(d) {
 		t.Fatal("allowSet covers a diagnostic in an unknown file")
+	}
+}
+
+// TestBuildConstraintSatisfied pins the loader's build-tag handling:
+// files gated behind optional tags (race, integration) are excluded,
+// their !tag counterparts and untagged files load, and host-platform
+// constraints evaluate against the running GOOS/GOARCH.
+func TestBuildConstraintSatisfied(t *testing.T) {
+	parse := func(src string) *ast.File {
+		f, err := parser.ParseFile(token.NewFileSet(), "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package x", true},
+		{"//go:build race\n\npackage x", false},
+		{"//go:build !race\n\npackage x", true},
+		{"//go:build " + runtime.GOOS + "\n\npackage x", true},
+		{"//go:build !" + runtime.GOOS + "\n\npackage x", false},
+		{"//go:build race && " + runtime.GOOS + "\n\npackage x", false},
+	}
+	for _, c := range cases {
+		if got := buildConstraintSatisfied(parse(c.src)); got != c.want {
+			t.Errorf("buildConstraintSatisfied(%q) = %v, want %v", c.src, got, c.want)
+		}
 	}
 }
 

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -227,9 +229,39 @@ func (l *loader) parseDir(dir string, withTests bool) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildConstraintSatisfied(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// buildConstraintSatisfied reports whether the file's //go:build line (if
+// any) holds in the default build configuration: host GOOS/GOARCH and no
+// optional tags. Without this, tag-paired files (e.g. `race` / `!race`
+// variants of a declaration) would both load and collide in the
+// typechecker. Only the canonical //go:build form is evaluated; legacy
+// // +build lines are ignored, matching what gofmt keeps in sync anyway.
+func buildConstraintSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "unix" && runtime.GOOS == "linux"
+			})
+		}
+	}
+	return true
 }
 
 // analyze builds the analysis units of one directory: the package itself

@@ -31,6 +31,13 @@ type Block struct {
 	routing    *Routing
 	positions  map[int][]int          // expert -> token indices routed to it (in batch row order)
 	outs       map[int]*tensor.Tensor // cached expert outputs (needed for gate backward)
+
+	// batches holds the per-expert input copies for the current step. The
+	// tensors come from the arena, but experts cache their inputs until
+	// Backward, so they are returned (Put) only after BackwardExperts.
+	batches map[int]*tensor.Tensor
+	// Step-persistent combine output and input-gradient buffers.
+	y, dx *tensor.Tensor
 }
 
 // NewBlock builds a MoE block for the given layer index.
@@ -76,12 +83,13 @@ func (b *Block) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	batches := make(map[int]*tensor.Tensor, len(b.positions))
 	for e, toks := range b.positions {
-		m := tensor.Zeros(len(toks), d)
+		m := tensor.GetDirty(len(toks), d)
 		for i, t := range toks {
 			copy(m.Row(i), x.Row(t))
 		}
 		batches[e] = m
 	}
+	b.batches = batches
 
 	outs, err := b.Exec.ForwardExperts(b.Layer, batches)
 	if err != nil {
@@ -94,7 +102,8 @@ func (b *Block) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	// Weighted combine back into token order, iterating experts in index
 	// order so summation order (and thus floating-point results) is
 	// deterministic and identical between local and brokered execution.
-	y := tensor.Zeros(n, d)
+	y := tensor.Ensure(&b.y, n, d)
+	y.Zero()
 	for e := 0; e < b.numExperts; e++ {
 		toks, routed := b.positions[e]
 		if !routed {
@@ -154,7 +163,7 @@ func (b *Block) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 		if !routed {
 			continue
 		}
-		g := tensor.Zeros(len(toks), d)
+		g := tensor.GetDirty(len(toks), d)
 		for i, t := range toks {
 			w := weightFor(r, t, e)
 			gr, dr := g.Row(i), dy.Row(t)
@@ -167,10 +176,24 @@ func (b *Block) Backward(dy *tensor.Tensor) (*tensor.Tensor, error) {
 
 	dxs, err := b.Exec.BackwardExperts(b.Layer, grads)
 	if err != nil {
+		// On failure some experts may still cache their inputs, so the
+		// arena buffers are abandoned to the GC rather than recycled.
+		b.batches = nil
 		return nil, fmt.Errorf("moe: block %d expert backward: %w", b.Layer, err)
 	}
+	// Every expert has consumed its dispatch batch and gradient input by
+	// now (experts release cached inputs in their own Backward), so the
+	// arena buffers can be recycled.
+	for _, g := range grads {
+		tensor.Put(g)
+	}
+	for _, m := range b.batches {
+		tensor.Put(m)
+	}
+	b.batches = nil
 
-	dx := tensor.Zeros(n, d)
+	dx := tensor.Ensure(&b.dx, n, d)
+	dx.Zero()
 	for e := 0; e < b.numExperts; e++ {
 		toks, routed := b.positions[e]
 		if !routed {

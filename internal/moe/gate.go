@@ -64,6 +64,7 @@ func (g *Gate) Params() []*nn.Param { return g.Proj.Params() }
 // Forward routes the flattened token batch x ([tokens, d]).
 func (g *Gate) Forward(x *tensor.Tensor) *Routing {
 	logits := g.Proj.Forward(x)
+	//velavet:allow allocbound -- Scores escapes inside the returned Routing: Theorem-1 probes hold routings across later forwards, so the buffer cannot be reused
 	scores := logits.SoftmaxRows()
 	n := x.Rows()
 	r := &Routing{

@@ -53,6 +53,12 @@ type Layer struct {
 	Attn     *nn.Attention
 	FFNNorm  *nn.RMSNorm
 	MoE      *Block
+
+	// Step-persistent residual-sum buffers. The residual adds cannot run
+	// in place: each norm caches its input tensor until Backward, so the
+	// pre-add activation must stay intact. Two distinct buffers per layer
+	// keep both residual states alive across the step.
+	resA, resB *tensor.Tensor
 }
 
 // Model is the full MoE transformer. When experts are detached (VELA
@@ -190,14 +196,15 @@ func (m *Model) Forward(ids []int, batch, seqLen int) (*tensor.Tensor, error) {
 	}
 	m.batch, m.seq = batch, seqLen
 	h := m.Embed.Forward(ids)
+	rows := batch * seqLen
 	for i, l := range m.Layers {
 		attnOut := l.Attn.Forward(l.AttnNorm.Forward(h), batch, seqLen)
-		h = h.Add(attnOut)
+		h = h.AddInto(attnOut, tensor.Ensure(&l.resA, rows, m.Cfg.D))
 		moeOut, err := l.MoE.Forward(l.FFNNorm.Forward(h))
 		if err != nil {
 			return nil, fmt.Errorf("moe: layer %d: %w", i, err)
 		}
-		h = h.Add(moeOut)
+		h = h.AddInto(moeOut, tensor.Ensure(&l.resB, rows, m.Cfg.D))
 	}
 	return m.LMHead.Forward(m.FinalNorm.Forward(h)), nil
 }
@@ -213,9 +220,12 @@ func (m *Model) Backward(dlogits *tensor.Tensor) error {
 		if err != nil {
 			return fmt.Errorf("moe: layer %d backward: %w", i, err)
 		}
-		dh = dh.Add(l.FFNNorm.Backward(dmoe))
+		// In-place is safe here: dh is FinalNorm's input-gradient buffer
+		// throughout the walk, and every norm/attention Backward returns
+		// its own distinct buffer.
+		dh = dh.AddInPlace(l.FFNNorm.Backward(dmoe))
 		dattn := l.Attn.Backward(dh)
-		dh = dh.Add(l.AttnNorm.Backward(dattn))
+		dh = dh.AddInPlace(l.AttnNorm.Backward(dattn))
 	}
 	m.Embed.Backward(dh)
 	return nil

@@ -29,6 +29,12 @@ type Attention struct {
 	seqLen  int
 	q, k, v *tensor.Tensor
 	att     [][]*tensor.Tensor // [batch][head] -> [T,T] attention weights
+
+	// Step-persistent scratch (tensor.Ensure): the context accumulator and
+	// the per-projection gradient accumulators. The [T,T] attention
+	// weights come from the arena (Get in Forward, Put in Backward); the
+	// att index slices are reused across steps.
+	ctx, dq, dk, dv *tensor.Tensor
 }
 
 // NewAttention builds an attention layer with the given model width and
@@ -62,9 +68,10 @@ func (a *Attention) Params() []*Param {
 func (a *Attention) Linears() []*Linear { return []*Linear{a.Wq, a.Wk, a.Wv, a.Wo} }
 
 // headView copies head h of sequence b out of the flattened [B·T, d]
-// tensor m into a [T, dh] matrix.
+// tensor m into a [T, dh] arena buffer. The caller owns the result and
+// must Put it back.
 func (a *Attention) headView(m *tensor.Tensor, b, h int) *tensor.Tensor {
-	out := tensor.Zeros(a.seqLen, a.dh)
+	out := tensor.GetDirty(a.seqLen, a.dh)
 	for t := 0; t < a.seqLen; t++ {
 		src := m.Row(b*a.seqLen + t)
 		copy(out.Row(t), src[h*a.dh:(h+1)*a.dh])
@@ -94,23 +101,37 @@ func (a *Attention) Forward(x *tensor.Tensor, batch, seqLen int) *tensor.Tensor 
 	a.k = a.Wk.Forward(x)
 	a.v = a.Wv.Forward(x)
 
-	ctx := tensor.Zeros(batch*seqLen, a.d)
+	ctx := tensor.Ensure(&a.ctx, batch*seqLen, a.d)
+	ctx.Zero()
 	scale := 1 / math.Sqrt(float64(a.dh))
-	a.att = make([][]*tensor.Tensor, batch)
+	if len(a.att) != batch || (batch > 0 && len(a.att[0]) != a.Heads) {
+		a.att = make([][]*tensor.Tensor, batch)
+		for b := range a.att {
+			a.att[b] = make([]*tensor.Tensor, a.Heads)
+		}
+	}
 	for b := 0; b < batch; b++ {
-		a.att[b] = make([]*tensor.Tensor, a.Heads)
 		for h := 0; h < a.Heads; h++ {
 			qh := a.headView(a.q, b, h)
 			kh := a.headView(a.k, b, h)
 			vh := a.headView(a.v, b, h)
-			scores := qh.MatMulT(kh).ScaleInPlace(scale)
-			// Causal mask + per-row softmax over the visible prefix.
-			att := tensor.Zeros(seqLen, seqLen)
+			scores := qh.MatMulTInto(kh, tensor.GetDirty(seqLen, seqLen)).ScaleInPlace(scale)
+			// Causal mask + per-row softmax over the visible prefix. The
+			// strict upper triangle must stay zero (the combine below
+			// reads full rows), so the buffer comes from Get, not
+			// GetDirty.
+			att := tensor.Get(seqLen, seqLen)
 			for t := 0; t < seqLen; t++ {
 				tensor.SoftmaxInto(att.Row(t)[:t+1], scores.Row(t)[:t+1])
 			}
 			a.att[b][h] = att
-			a.headAccum(ctx, att.MatMul(vh), b, h)
+			av := att.MatMulInto(vh, tensor.GetDirty(seqLen, a.dh))
+			a.headAccum(ctx, av, b, h)
+			tensor.Put(av)
+			tensor.Put(scores)
+			tensor.Put(qh)
+			tensor.Put(kh)
+			tensor.Put(vh)
 		}
 	}
 	return a.Wo.Forward(ctx)
@@ -118,13 +139,16 @@ func (a *Attention) Forward(x *tensor.Tensor, batch, seqLen int) *tensor.Tensor 
 
 // Backward propagates dy through the attention layer and returns dx.
 func (a *Attention) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	if a.att == nil {
+	if a.q == nil {
 		panic(fmt.Sprintf("nn: %s Backward called before Forward", a.Name))
 	}
 	dctx := a.Wo.Backward(dy)
-	dq := tensor.Zeros(a.batch*a.seqLen, a.d)
-	dk := tensor.Zeros(a.batch*a.seqLen, a.d)
-	dv := tensor.Zeros(a.batch*a.seqLen, a.d)
+	dq := tensor.Ensure(&a.dq, a.batch*a.seqLen, a.d)
+	dk := tensor.Ensure(&a.dk, a.batch*a.seqLen, a.d)
+	dv := tensor.Ensure(&a.dv, a.batch*a.seqLen, a.d)
+	dq.Zero()
+	dk.Zero()
+	dv.Zero()
 	scale := 1 / math.Sqrt(float64(a.dh))
 
 	for b := 0; b < a.batch; b++ {
@@ -136,11 +160,14 @@ func (a *Attention) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			dch := a.headView(dctx, b, h)
 
 			// ctx_h = att @ v_h
-			datt := dch.MatMulT(vh)
-			dvh := att.TMatMul(dch)
+			datt := dch.MatMulTInto(vh, tensor.GetDirty(a.seqLen, a.seqLen))
+			dvh := att.TMatMulInto(dch, tensor.GetDirty(a.seqLen, a.dh))
 
 			// Softmax backward per row: ds = att ⊙ (datt − ⟨datt, att⟩).
-			dscores := tensor.Zeros(a.seqLen, a.seqLen)
+			// Rows are written only up to the causal prefix, so the
+			// strict upper triangle must come zeroed (Get): the dqh/dkh
+			// products below read full rows.
+			dscores := tensor.Get(a.seqLen, a.seqLen)
 			for t := 0; t < a.seqLen; t++ {
 				ar, dar, dsr := att.Row(t), datt.Row(t), dscores.Row(t)
 				var dot float64
@@ -151,17 +178,29 @@ func (a *Attention) Backward(dy *tensor.Tensor) *tensor.Tensor {
 					dsr[s] = ar[s] * (dar[s] - dot)
 				}
 			}
-			dqh := dscores.MatMul(kh).ScaleInPlace(scale)
-			dkh := dscores.TMatMul(qh).ScaleInPlace(scale)
+			dqh := dscores.MatMulInto(kh, tensor.GetDirty(a.seqLen, a.dh)).ScaleInPlace(scale)
+			dkh := dscores.TMatMulInto(qh, tensor.GetDirty(a.seqLen, a.dh)).ScaleInPlace(scale)
 
 			a.headAccum(dq, dqh, b, h)
 			a.headAccum(dk, dkh, b, h)
 			a.headAccum(dv, dvh, b, h)
+
+			tensor.Put(dqh)
+			tensor.Put(dkh)
+			tensor.Put(dscores)
+			tensor.Put(dvh)
+			tensor.Put(datt)
+			tensor.Put(dch)
+			tensor.Put(vh)
+			tensor.Put(kh)
+			tensor.Put(qh)
+			tensor.Put(att)
+			a.att[b][h] = nil
 		}
 	}
 	dx := a.Wq.Backward(dq)
 	dx.AddInPlace(a.Wk.Backward(dk))
 	dx.AddInPlace(a.Wv.Backward(dv))
-	a.att, a.q, a.k, a.v = nil, nil, nil, nil
+	a.q, a.k, a.v = nil, nil, nil
 	return dx
 }

@@ -69,6 +69,52 @@ func BenchmarkAdamWStep(b *testing.B) {
 	}
 }
 
+// Paper geometry: TinyMistral d_model=1024, FFN hidden 2816, per-step
+// token batch 128. Serial pins the engine to one shard; Parallel lets it
+// use every core. The acceptance comparison (≥2× on ≥4 cores) divides
+// the two ns/op numbers.
+const (
+	benchBatch  = 128
+	benchD      = 1024
+	benchHidden = 2816
+)
+
+func benchLinearPaper(b *testing.B, degree int) {
+	old := tensor.Parallelism()
+	tensor.SetParallelism(degree)
+	b.Cleanup(func() { tensor.SetParallelism(old) })
+	rng := rand.New(rand.NewSource(7))
+	l := NewLinear("l", rng, benchD, benchD, true, true)
+	x := tensor.Randn(rng, 1, benchBatch, benchD)
+	dy := tensor.Randn(rng, 1, benchBatch, benchD)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Forward(x)
+		_ = l.Backward(dy)
+	}
+}
+
+func BenchmarkLinearPaperGeometrySerial(b *testing.B)   { benchLinearPaper(b, 1) }
+func BenchmarkLinearPaperGeometryParallel(b *testing.B) { benchLinearPaper(b, 0) }
+
+func benchSwiGLUPaper(b *testing.B, degree int) {
+	old := tensor.Parallelism()
+	tensor.SetParallelism(degree)
+	b.Cleanup(func() { tensor.SetParallelism(old) })
+	rng := rand.New(rand.NewSource(8))
+	s := NewSwiGLU("s", rng, benchD, benchHidden, true)
+	x := tensor.Randn(rng, 1, benchBatch, benchD)
+	dy := tensor.Randn(rng, 1, benchBatch, benchD)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Forward(x)
+		_ = s.Backward(dy)
+	}
+}
+
+func BenchmarkSwiGLUPaperGeometrySerial(b *testing.B)   { benchSwiGLUPaper(b, 1) }
+func BenchmarkSwiGLUPaperGeometryParallel(b *testing.B) { benchSwiGLUPaper(b, 0) }
+
 func BenchmarkCrossEntropy(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	logits := tensor.Randn(rng, 1, 256, 96)

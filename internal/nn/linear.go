@@ -33,6 +33,12 @@ type Linear struct {
 
 	in, out int
 	x       *tensor.Tensor // cached input from the last Forward
+
+	// Step-persistent scratch: the output and input-gradient buffers are
+	// reused across steps (tensor.Ensure), so a steady-state
+	// Forward+Backward pass allocates nothing. Callers that need a result
+	// to survive this layer's next Forward/Backward must Clone it.
+	y, dx *tensor.Tensor
 }
 
 // NewLinear constructs a Linear layer with Kaiming-style N(0, 1/in)
@@ -92,19 +98,20 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s expects %d input features, got %d", l.Name, l.in, x.Cols()))
 	}
 	l.x = x
-	y := x.MatMul(l.W.Value)
+	n := x.Rows()
+	y := tensor.Ensure(&l.y, n, l.out)
+	x.MatMulInto(l.W.Value, y)
 	if l.Bias != nil {
-		b := l.Bias.Value.Data
-		for i := 0; i < y.Rows(); i++ {
-			row := y.Row(i)
-			for j := range row {
-				row[j] += b[j]
-			}
-		}
+		y.AddRowInPlace(l.Bias.Value)
 	}
 	if l.LoRA != nil {
-		l.LoRA.xa = x.MatMul(l.LoRA.A.Value)
-		y.AxpyInPlace(l.LoRA.Scale, l.LoRA.xa.MatMul(l.LoRA.B.Value))
+		lr := l.LoRA
+		xa := tensor.Ensure(&lr.xa, n, lr.A.Value.Cols())
+		x.MatMulInto(lr.A.Value, xa)
+		t := tensor.GetDirty(n, l.out)
+		xa.MatMulInto(lr.B.Value, t)
+		y.AxpyInPlace(lr.Scale, t)
+		tensor.Put(t)
 	}
 	return y
 }
@@ -116,31 +123,43 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s Backward called before Forward", l.Name))
 	}
 	x := l.x
-	dx := dy.MatMulT(l.W.Value)
+	n := dy.Rows()
+	dx := tensor.Ensure(&l.dx, n, l.in)
+	dy.MatMulTInto(l.W.Value, dx)
 	if l.W.Trainable {
-		l.W.Grad.AddInPlace(x.TMatMul(dy))
+		g := tensor.GetDirty(l.in, l.out)
+		x.TMatMulInto(dy, g)
+		l.W.Grad.AddInPlace(g)
+		tensor.Put(g)
 	}
 	if l.Bias != nil && l.Bias.Trainable {
-		g := l.Bias.Grad.Data
-		for i := 0; i < dy.Rows(); i++ {
-			row := dy.Row(i)
-			for j := range row {
-				g[j] += row[j]
-			}
-		}
+		dy.SumRowsInto(l.Bias.Grad)
 	}
 	if l.LoRA != nil {
 		lr := l.LoRA
+		r := lr.A.Value.Cols()
 		// d(xa) = scale · dy @ Bᵀ ; dB = scale · xaᵀ @ dy ;
 		// dA = xᵀ @ d(xa) ; dx += d(xa) @ Aᵀ.
-		dxa := dy.MatMulT(lr.B.Value).ScaleInPlace(lr.Scale)
+		dxa := tensor.GetDirty(n, r)
+		dy.MatMulTInto(lr.B.Value, dxa)
+		dxa.ScaleInPlace(lr.Scale)
 		if lr.B.Trainable {
-			lr.B.Grad.AxpyInPlace(lr.Scale, lr.xa.TMatMul(dy))
+			g := tensor.GetDirty(r, l.out)
+			lr.xa.TMatMulInto(dy, g)
+			lr.B.Grad.AxpyInPlace(lr.Scale, g)
+			tensor.Put(g)
 		}
 		if lr.A.Trainable {
-			lr.A.Grad.AddInPlace(x.TMatMul(dxa))
+			g := tensor.GetDirty(l.in, r)
+			x.TMatMulInto(dxa, g)
+			lr.A.Grad.AddInPlace(g)
+			tensor.Put(g)
 		}
-		dx.AddInPlace(dxa.MatMulT(lr.A.Value))
+		t := tensor.GetDirty(n, l.in)
+		dxa.MatMulTInto(lr.A.Value, t)
+		dx.AddInPlace(t)
+		tensor.Put(t)
+		tensor.Put(dxa)
 	}
 	l.x = nil
 	return dx

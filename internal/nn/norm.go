@@ -17,6 +17,9 @@ type RMSNorm struct {
 
 	x    *tensor.Tensor // cached input
 	rinv []float64      // cached 1/rms per row
+
+	// Step-persistent output and input-gradient buffers (tensor.Ensure).
+	y, dx *tensor.Tensor
 }
 
 // NewRMSNorm constructs an RMSNorm over feature size d with gain
@@ -37,10 +40,27 @@ func (n *RMSNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	rows, d := x.Rows(), x.Cols()
 	mustShape(n.Gain.Value, d)
 	n.x = x
-	n.rinv = make([]float64, rows)
-	y := tensor.Zeros(rows, d)
+	if cap(n.rinv) >= rows {
+		n.rinv = n.rinv[:rows]
+	} else {
+		n.rinv = make([]float64, rows)
+	}
+	y := tensor.Ensure(&n.y, rows, d)
+	if tensor.Serial(rows, 3*rows*d) {
+		n.forwardRows(x, y, 0, rows)
+	} else {
+		tensor.ParallelRangeCost(rows, 3*rows*d, func(lo, hi int) {
+			n.forwardRows(x, y, lo, hi)
+		})
+	}
+	return y
+}
+
+// forwardRows normalizes rows [lo, hi) of x into y, caching 1/rms per row.
+func (n *RMSNorm) forwardRows(x, y *tensor.Tensor, lo, hi int) {
+	d := x.Cols()
 	g := n.Gain.Value.Data
-	for i := 0; i < rows; i++ {
+	for i := lo; i < hi; i++ {
 		xr := x.Row(i)
 		var ss float64
 		for _, v := range xr {
@@ -53,7 +73,6 @@ func (n *RMSNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 			yr[j] = g[j] * v * rinv
 		}
 	}
-	return y
 }
 
 // Backward accumulates the gain gradient and returns dx.
@@ -68,13 +87,36 @@ func (n *RMSNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 	x := n.x
 	rows, d := x.Rows(), x.Cols()
-	dx := tensor.Zeros(rows, d)
-	g := n.Gain.Value.Data
-	var gg []float64
-	if n.Gain.Trainable {
-		gg = n.Gain.Grad.Data
+	dx := tensor.Ensure(&n.dx, rows, d)
+	if tensor.Serial(rows, 4*rows*d) {
+		n.backwardRows(x, dy, dx, 0, rows)
+	} else {
+		tensor.ParallelRangeCost(rows, 4*rows*d, func(lo, hi int) {
+			n.backwardRows(x, dy, dx, lo, hi)
+		})
 	}
-	for i := 0; i < rows; i++ {
+	// The gain gradient reduces across rows into one shared vector, so it
+	// stays serial: partitioning by row would give the accumulator
+	// multiple owners and break bit-determinism.
+	if n.Gain.Trainable {
+		gg := n.Gain.Grad.Data
+		for i := 0; i < rows; i++ {
+			xr, dyr := x.Row(i), dy.Row(i)
+			rinv := n.rinv[i]
+			for j := 0; j < d; j++ {
+				gg[j] += dyr[j] * xr[j] * rinv
+			}
+		}
+	}
+	n.x = nil
+	return dx
+}
+
+// backwardRows computes the input gradient for rows [lo, hi).
+func (n *RMSNorm) backwardRows(x, dy, dx *tensor.Tensor, lo, hi int) {
+	d := x.Cols()
+	g := n.Gain.Value.Data
+	for i := lo; i < hi; i++ {
 		xr, dyr, dxr := x.Row(i), dy.Row(i), dx.Row(i)
 		rinv := n.rinv[i]
 		var dot float64
@@ -84,13 +126,8 @@ func (n *RMSNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		k := dot * rinv * rinv * rinv / float64(d)
 		for j := 0; j < d; j++ {
 			dxr[j] = dyr[j]*g[j]*rinv - xr[j]*k
-			if gg != nil {
-				gg[j] += dyr[j] * xr[j] * rinv
-			}
 		}
 	}
-	n.x = nil
-	return dx
 }
 
 // Embedding maps token ids to dense rows of a [vocab, d] table.
@@ -98,7 +135,8 @@ type Embedding struct {
 	Name  string
 	Table *Param
 
-	ids []int // cached ids from the last Forward
+	ids []int          // cached ids from the last Forward
+	y   *tensor.Tensor // step-persistent output buffer
 }
 
 // NewEmbedding constructs an embedding table initialized from N(0, 0.02²).
@@ -119,7 +157,7 @@ func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
 func (e *Embedding) Forward(ids []int) *tensor.Tensor {
 	d := e.Table.Value.Cols()
 	e.ids = ids
-	y := tensor.Zeros(len(ids), d)
+	y := tensor.Ensure(&e.y, len(ids), d)
 	for i, id := range ids {
 		copy(y.Row(i), e.Table.Value.Row(id))
 	}

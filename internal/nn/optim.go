@@ -118,13 +118,27 @@ func (o *AdamW) Step() {
 	for i, p := range o.params {
 		m, v := o.m[i].Data, o.v[i].Data
 		w, g := p.Value.Data, p.Grad.Data
-		for j := range w {
-			m[j] = c.Beta1*m[j] + (1-c.Beta1)*g[j]
-			v[j] = c.Beta2*v[j] + (1-c.Beta2)*g[j]*g[j]
-			mh := m[j] / bc1
-			vh := v[j] / bc2
-			w[j] -= c.LR * (mh/(math.Sqrt(vh)+c.Eps) + c.WeightDecay*w[j])
+		// Each element is owned by exactly one shard, so the update stays
+		// bit-deterministic under parallelism.
+		if tensor.SerialRange(len(w)) {
+			adamwRange(w, g, m, v, c, bc1, bc2, 0, len(w))
+			continue
 		}
+		tensor.ParallelRange(len(w), func(lo, hi int) {
+			adamwRange(w, g, m, v, c, bc1, bc2, lo, hi)
+		})
+	}
+}
+
+// adamwRange applies the AdamW update to elements [lo, hi) of one
+// parameter, with bc1/bc2 the bias-correction denominators for this step.
+func adamwRange(w, g, m, v []float64, c AdamWConfig, bc1, bc2 float64, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		m[j] = c.Beta1*m[j] + (1-c.Beta1)*g[j]
+		v[j] = c.Beta2*v[j] + (1-c.Beta2)*g[j]*g[j]
+		mh := m[j] / bc1
+		vh := v[j] / bc2
+		w[j] -= c.LR * (mh/(math.Sqrt(vh)+c.Eps) + c.WeightDecay*w[j])
 	}
 }
 

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+// TestLayersBitIdenticalUnderParallelism is the nn-level integration
+// check of the engine's determinism guarantee (run under -race in CI):
+// forcing four shards through full layer forward+backward must reproduce
+// the serial results bit for bit.
+func TestLayersBitIdenticalUnderParallelism(t *testing.T) {
+	build := func() (*Linear, *SwiGLU, *tensor.Tensor, *tensor.Tensor) {
+		rng := rand.New(rand.NewSource(11))
+		l := NewLinear("l", rng, 48, 48, true, true)
+		s := NewSwiGLU("s", rng, 48, 96, true)
+		x := tensor.Randn(rng, 1, 64, 48)
+		dy := tensor.Randn(rng, 1, 64, 48)
+		return l, s, x, dy
+	}
+	run := func(degree int) (ly, ldx, sy, sdx *tensor.Tensor) {
+		old := tensor.Parallelism()
+		oldThr := tensor.ParallelThreshold()
+		tensor.SetParallelism(degree)
+		tensor.SetParallelThreshold(1)
+		defer func() {
+			tensor.SetParallelism(old)
+			tensor.SetParallelThreshold(oldThr)
+		}()
+		l, s, x, dy := build()
+		ly = l.Forward(x).Clone()
+		ldx = l.Backward(dy).Clone()
+		sy = s.Forward(x).Clone()
+		sdx = s.Backward(dy).Clone()
+		return
+	}
+
+	ly1, ldx1, sy1, sdx1 := run(1)
+	ly4, ldx4, sy4, sdx4 := run(4)
+	for _, c := range []struct {
+		name      string
+		want, got *tensor.Tensor
+	}{
+		{"Linear.Forward", ly1, ly4},
+		{"Linear.Backward", ldx1, ldx4},
+		{"SwiGLU.Forward", sy1, sy4},
+		{"SwiGLU.Backward", sdx1, sdx4},
+	} {
+		if !testutil.BitEqualSlices(c.want.Data, c.got.Data) {
+			t.Errorf("%s: 4-shard result is not bit-identical to serial", c.name)
+		}
+	}
+}

@@ -53,34 +53,64 @@ func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
 func (s *SwiGLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 	s.h1 = s.W1.Forward(x)
 	s.h3 = s.W3.Forward(x)
-	s.u = tensor.Zeros(s.h1.Shape()...)
-	for i := range s.u.Data {
-		z := s.h1.Data[i]
-		s.u.Data[i] = z * sigmoid(z) * s.h3.Data[i]
+	u := tensor.Ensure(&s.u, s.h1.Rows(), s.h1.Cols())
+	h1, h3, ud := s.h1.Data, s.h3.Data, u.Data
+	if tensor.SerialRange(len(ud)) {
+		siluGateRange(ud, h1, h3, 0, len(ud))
+	} else {
+		tensor.ParallelRange(len(ud), func(lo, hi int) {
+			siluGateRange(ud, h1, h3, lo, hi)
+		})
 	}
-	return s.W2.Forward(s.u)
+	return s.W2.Forward(u)
+}
+
+// siluGateRange writes u[i] = silu(h1[i]) · h3[i] for i in [lo, hi).
+func siluGateRange(u, h1, h3 []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		z := h1[i]
+		u[i] = z * sigmoid(z) * h3[i]
+	}
 }
 
 // Backward propagates dy and returns dx, accumulating gradients in the
 // three projections.
 func (s *SwiGLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	if s.u == nil {
+	if s.h1 == nil {
 		panic("nn: SwiGLU Backward called before Forward")
 	}
 	du := s.W2.Backward(dy)
-	dh1 := tensor.Zeros(s.h1.Shape()...)
-	dh3 := tensor.Zeros(s.h3.Shape()...)
-	for i := range du.Data {
-		z := s.h1.Data[i]
-		sg := sigmoid(z)
-		silu := z * sg
-		// d silu/dz = σ(z)·(1 + z·(1−σ(z)))
-		dsilu := sg * (1 + z*(1-sg))
-		dh3.Data[i] = du.Data[i] * silu
-		dh1.Data[i] = du.Data[i] * s.h3.Data[i] * dsilu
+	dh1 := tensor.GetDirty(s.h1.Rows(), s.h1.Cols())
+	dh3 := tensor.GetDirty(s.h3.Rows(), s.h3.Cols())
+	h1, h3 := s.h1.Data, s.h3.Data
+	dud, d1, d3 := du.Data, dh1.Data, dh3.Data
+	if tensor.SerialRange(len(dud)) {
+		siluGateBackRange(d1, d3, dud, h1, h3, 0, len(dud))
+	} else {
+		tensor.ParallelRange(len(dud), func(lo, hi int) {
+			siluGateBackRange(d1, d3, dud, h1, h3, lo, hi)
+		})
 	}
 	dx := s.W1.Backward(dh1)
 	dx.AddInPlace(s.W3.Backward(dh3))
-	s.h1, s.h3, s.u = nil, nil, nil
+	tensor.Put(dh1)
+	tensor.Put(dh3)
+	// s.u stays: it is step-persistent scratch (tensor.Ensure), and
+	// nil-ing it here would force Forward to reallocate it every step.
+	s.h1, s.h3 = nil, nil
 	return dx
+}
+
+// siluGateBackRange writes the gate gradients for i in [lo, hi):
+// d3[i] = du[i]·silu(h1[i]) and d1[i] = du[i]·h3[i]·silu'(h1[i]),
+// with d silu/dz = σ(z)·(1 + z·(1−σ(z))).
+func siluGateBackRange(d1, d3, du, h1, h3 []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		z := h1[i]
+		sg := sigmoid(z)
+		silu := z * sg
+		dsilu := sg * (1 + z*(1-sg))
+		d3[i] = du[i] * silu
+		d1[i] = du[i] * h3[i] * dsilu
+	}
 }

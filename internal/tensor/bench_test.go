@@ -3,7 +3,12 @@ package tensor
 import (
 	"math/rand"
 	"testing"
+	"time"
 )
+
+// nowNano is a tiny wrapper so the speedup benchmark reads as arithmetic
+// on nanoseconds.
+func nowNano() int64 { return time.Now().UnixNano() }
 
 func benchMatMul(b *testing.B, n int) {
 	rng := rand.New(rand.NewSource(1))
@@ -46,5 +51,62 @@ func BenchmarkArgTopK(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ArgTopK(v, 2)
+	}
+}
+
+// Paper geometry: the TinyMistral dense projections the trainer actually
+// runs — d_model=1024, FFN hidden 2816, per-step token batch 128. These
+// are the shapes EXPERIMENTS.md quotes for the engine before/after table.
+const (
+	benchBatch  = 128
+	benchD      = 1024
+	benchHidden = 2816
+)
+
+func benchMatMulPaper(b *testing.B, degree int) {
+	old := Parallelism()
+	SetParallelism(degree)
+	b.Cleanup(func() { SetParallelism(old) })
+	rng := rand.New(rand.NewSource(4))
+	x := Randn(rng, 1, benchBatch, benchD)
+	w := Randn(rng, 1, benchD, benchHidden)
+	dst := Zeros(benchBatch, benchHidden)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MatMulInto(w, dst)
+	}
+}
+
+func BenchmarkMatMulPaperGeometrySerial(b *testing.B)   { benchMatMulPaper(b, 1) }
+func BenchmarkMatMulPaperGeometryParallel(b *testing.B) { benchMatMulPaper(b, 0) }
+
+// BenchmarkMatMulPaperGeometrySpeedup times the same kernel serial and
+// parallel in one run and reports the ratio as a "speedup" metric, so the
+// number survives into BENCH_tensor.json without post-processing. On a
+// single-core runner the metric sits near 1.0 by construction.
+func BenchmarkMatMulPaperGeometrySpeedup(b *testing.B) {
+	old := Parallelism()
+	b.Cleanup(func() { SetParallelism(old) })
+	rng := rand.New(rand.NewSource(5))
+	x := Randn(rng, 1, benchBatch, benchD)
+	w := Randn(rng, 1, benchD, benchHidden)
+	dst := Zeros(benchBatch, benchHidden)
+
+	SetParallelism(1)
+	serialStart := nowNano()
+	const probes = 3
+	for i := 0; i < probes; i++ {
+		x.MatMulInto(w, dst)
+	}
+	serialPer := (nowNano() - serialStart) / probes
+
+	SetParallelism(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MatMulInto(w, dst)
+	}
+	parallelPer := b.Elapsed().Nanoseconds() / int64(b.N)
+	if parallelPer > 0 {
+		b.ReportMetric(float64(serialPer)/float64(parallelPer), "speedup")
 	}
 }

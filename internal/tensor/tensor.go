@@ -176,31 +176,44 @@ func (t *Tensor) mustSameShape(o *Tensor) {
 	}
 }
 
-// Add returns t + o elementwise as a new tensor.
+// Add returns t + o elementwise as a new tensor. Hot paths should prefer
+// AddInto or AddInPlace.
 func (t *Tensor) Add(o *Tensor) *Tensor {
-	t.mustSameShape(o)
-	r := Zeros(t.shape...)
-	for i := range t.Data {
-		r.Data[i] = t.Data[i] + o.Data[i]
-	}
-	return r
+	return t.AddInto(o, Zeros(t.shape...))
 }
 
 // AddInPlace adds o to t elementwise, returning t.
 func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
 	t.mustSameShape(o)
-	for i := range t.Data {
-		t.Data[i] += o.Data[i]
+	td, od := t.Data, o.Data
+	if Serial(len(td), len(td)) {
+		axpyRange(td, od, 1, 0, len(td))
+		return t
 	}
+	parallelFor(len(td), len(td), func(lo, hi int) {
+		axpyRange(td, od, 1, lo, hi)
+	})
 	return t
+}
+
+// axpyRange accumulates r[i] += alpha * a[i] for i in [lo, hi).
+func axpyRange(r, a []float64, alpha float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r[i] += alpha * a[i]
+	}
 }
 
 // AxpyInPlace adds alpha*o to t elementwise, returning t.
 func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) *Tensor {
 	t.mustSameShape(o)
-	for i := range t.Data {
-		t.Data[i] += alpha * o.Data[i]
+	td, od := t.Data, o.Data
+	if Serial(len(td), len(td)) {
+		axpyRange(td, od, alpha, 0, len(td))
+		return t
 	}
+	parallelFor(len(td), len(td), func(lo, hi int) {
+		axpyRange(td, od, alpha, lo, hi)
+	})
 	return t
 }
 
@@ -224,128 +237,62 @@ func (t *Tensor) Mul(o *Tensor) *Tensor {
 	return r
 }
 
-// Scale returns alpha*t as a new tensor.
+// Scale returns alpha*t as a new tensor. Hot paths should prefer
+// ScaleInto or ScaleInPlace.
 func (t *Tensor) Scale(alpha float64) *Tensor {
-	r := Zeros(t.shape...)
-	for i := range t.Data {
-		r.Data[i] = alpha * t.Data[i]
-	}
-	return r
+	return t.ScaleInto(alpha, Zeros(t.shape...))
 }
 
 // ScaleInPlace multiplies every element of t by alpha, returning t.
 func (t *Tensor) ScaleInPlace(alpha float64) *Tensor {
-	for i := range t.Data {
-		t.Data[i] *= alpha
+	td := t.Data
+	if Serial(len(td), len(td)) {
+		scaleRange(td, td, alpha, 0, len(td))
+		return t
 	}
+	parallelFor(len(td), len(td), func(lo, hi int) {
+		scaleRange(td, td, alpha, lo, hi)
+	})
 	return t
 }
 
 // MatMul returns the matrix product t @ o for 2-D tensors
-// ([n,k] @ [k,m] -> [n,m]). The inner loop is ordered i-k-j so the memory
-// access pattern over both operands is sequential.
+// ([n,k] @ [k,m] -> [n,m]) as a new tensor. Hot paths should prefer
+// MatMulInto with a reused destination; see parallel.go for the kernels.
 func (t *Tensor) MatMul(o *Tensor) *Tensor {
 	t.must2D()
 	o.must2D()
-	n, k := t.shape[0], t.shape[1]
-	k2, m := o.shape[0], o.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: matmul shape mismatch %v @ %v", t.shape, o.shape))
-	}
-	r := Zeros(n, m)
-	for i := 0; i < n; i++ {
-		ri := r.Data[i*m : (i+1)*m]
-		ti := t.Data[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			a := ti[p]
-			//velavet:allow floateq -- sparsity fast path: skipping exact zeros is an optimization, not a numeric comparison
-			if a == 0 {
-				continue
-			}
-			op := o.Data[p*m : (p+1)*m]
-			for j := 0; j < m; j++ {
-				ri[j] += a * op[j]
-			}
-		}
-	}
-	return r
+	return t.MatMulInto(o, Zeros(t.shape[0], o.shape[1]))
 }
 
-// MatMulT returns t @ oᵀ for 2-D tensors ([n,k] @ [m,k]ᵀ -> [n,m]).
+// MatMulT returns t @ oᵀ for 2-D tensors ([n,k] @ [m,k]ᵀ -> [n,m]) as a
+// new tensor. Hot paths should prefer MatMulTInto.
 func (t *Tensor) MatMulT(o *Tensor) *Tensor {
 	t.must2D()
 	o.must2D()
-	n, k := t.shape[0], t.shape[1]
-	m, k2 := o.shape[0], o.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: matmulT shape mismatch %v @ %vᵀ", t.shape, o.shape))
-	}
-	r := Zeros(n, m)
-	for i := 0; i < n; i++ {
-		ti := t.Data[i*k : (i+1)*k]
-		ri := r.Data[i*m : (i+1)*m]
-		for j := 0; j < m; j++ {
-			oj := o.Data[j*k : (j+1)*k]
-			var s float64
-			for p := 0; p < k; p++ {
-				s += ti[p] * oj[p]
-			}
-			ri[j] = s
-		}
-	}
-	return r
+	return t.MatMulTInto(o, Zeros(t.shape[0], o.shape[0]))
 }
 
-// TMatMul returns tᵀ @ o for 2-D tensors ([k,n]ᵀ @ [k,m] -> [n,m]).
+// TMatMul returns tᵀ @ o for 2-D tensors ([k,n]ᵀ @ [k,m] -> [n,m]) as a
+// new tensor. Hot paths should prefer TMatMulInto.
 func (t *Tensor) TMatMul(o *Tensor) *Tensor {
 	t.must2D()
 	o.must2D()
-	k, n := t.shape[0], t.shape[1]
-	k2, m := o.shape[0], o.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: tmatmul shape mismatch %vᵀ @ %v", t.shape, o.shape))
-	}
-	r := Zeros(n, m)
-	for p := 0; p < k; p++ {
-		tp := t.Data[p*n : (p+1)*n]
-		op := o.Data[p*m : (p+1)*m]
-		for i := 0; i < n; i++ {
-			a := tp[i]
-			//velavet:allow floateq -- sparsity fast path: skipping exact zeros is an optimization, not a numeric comparison
-			if a == 0 {
-				continue
-			}
-			ri := r.Data[i*m : (i+1)*m]
-			for j := 0; j < m; j++ {
-				ri[j] += a * op[j]
-			}
-		}
-	}
-	return r
+	return t.TMatMulInto(o, Zeros(t.shape[1], o.shape[1]))
 }
 
 // Transpose returns a new tensor holding tᵀ for a 2-D tensor.
 func (t *Tensor) Transpose() *Tensor {
 	t.must2D()
-	n, m := t.shape[0], t.shape[1]
-	r := Zeros(m, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			r.Data[j*n+i] = t.Data[i*m+j]
-		}
-	}
-	return r
+	return t.TransposeInto(Zeros(t.shape[1], t.shape[0]))
 }
 
 // SoftmaxRows applies a numerically stable softmax to each row of a 2-D
-// tensor and returns the result as a new tensor.
+// tensor and returns the result as a new tensor. Hot paths should prefer
+// SoftmaxRowsInto.
 func (t *Tensor) SoftmaxRows() *Tensor {
 	t.must2D()
-	r := Zeros(t.shape...)
-	for i := 0; i < t.shape[0]; i++ {
-		SoftmaxInto(r.Row(i), t.Row(i))
-	}
-	return r
+	return t.SoftmaxRowsInto(Zeros(t.shape...))
 }
 
 // SoftmaxInto writes softmax(src) into dst. dst and src may alias.
@@ -369,6 +316,57 @@ func SoftmaxInto(dst, src []float64) {
 	for i := range dst {
 		dst[i] *= inv
 	}
+}
+
+// AddRowInPlace adds the 1-D tensor row to every row of the 2-D tensor t
+// (row broadcast), returning t. Used for bias additions.
+func (t *Tensor) AddRowInPlace(row *Tensor) *Tensor {
+	t.must2D()
+	n, m := t.shape[0], t.shape[1]
+	if row.Len() != m {
+		panic(fmt.Sprintf("tensor: row broadcast length %d does not match shape %v", row.Len(), t.shape))
+	}
+	rd := row.Data
+	if Serial(n, n*m) {
+		addRowRange(t.Data, rd, m, 0, n)
+		return t
+	}
+	parallelFor(n, n*m, func(lo, hi int) {
+		addRowRange(t.Data, rd, m, lo, hi)
+	})
+	return t
+}
+
+// addRowRange adds the length-m vector r to rows [lo, hi) of the
+// row-major [_, m] buffer a.
+func addRowRange(a, r []float64, m, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*m : (i+1)*m]
+		for j := range ai {
+			ai[j] += r[j]
+		}
+	}
+}
+
+// SumRowsInto accumulates the column sums of the 2-D tensor t into the
+// 1-D tensor dst (dst[j] += Σ_i t[i,j]), returning dst. Used for
+// bias-gradient reductions, hence accumulate rather than overwrite.
+// Serial: the destination is shared across all rows, so partitioning by
+// input row would break the single-owner determinism rule.
+func (t *Tensor) SumRowsInto(dst *Tensor) *Tensor {
+	t.must2D()
+	n, m := t.shape[0], t.shape[1]
+	if dst.Len() != m {
+		panic(fmt.Sprintf("tensor: column-sum destination length %d does not match shape %v", dst.Len(), t.shape))
+	}
+	dd := dst.Data
+	for i := 0; i < n; i++ {
+		ti := t.Data[i*m : (i+1)*m]
+		for j := range ti {
+			dd[j] += ti[j]
+		}
+	}
+	return dst
 }
 
 // Sum returns the sum of all elements.
@@ -414,24 +412,37 @@ func (t *Tensor) MaxAbs() float64 {
 // ArgTopK returns the indices of the k largest values of v in descending
 // value order. It is used by the gate to select experts. Ties are broken by
 // lower index to keep routing deterministic.
+//
+// Single pass with a bounded insertion list: each element is compared
+// against the current k-th value and, if it belongs, shift-inserted into
+// the sorted prefix. One allocation (the result), no rescans.
 func ArgTopK(v []float64, k int) []int {
 	if k > len(v) {
 		panic(fmt.Sprintf("tensor: topk k=%d exceeds length %d", k, len(v)))
 	}
 	idx := make([]int, 0, k)
-	used := make([]bool, len(v))
-	for n := 0; n < k; n++ {
-		best := -1
-		for i, x := range v {
-			if used[i] {
+	if k == 0 {
+		return idx
+	}
+	for i, x := range v {
+		if len(idx) == k {
+			// List is full: only a strictly larger value displaces the
+			// current minimum — an equal one keeps the earlier index,
+			// which is already in the list.
+			if x <= v[idx[k-1]] {
 				continue
 			}
-			if best < 0 || x > v[best] {
-				best = i
-			}
+			idx = idx[:k-1]
 		}
-		used[best] = true
-		idx = append(idx, best)
+		// Insertion point: stop at >=, so an equal earlier index stays
+		// ahead of the new one.
+		p := len(idx)
+		for p > 0 && v[idx[p-1]] < x {
+			p--
+		}
+		idx = append(idx, 0)
+		copy(idx[p+1:], idx[p:])
+		idx[p] = i
 	}
 	return idx
 }

@@ -55,3 +55,19 @@ func SlicesAlmostEqual(a, b []float64, tol float64) bool {
 func BitEqual(a, b float64) bool {
 	return math.Float64bits(a) == math.Float64bits(b)
 }
+
+// BitEqualSlices reports whether a and b have the same length and are
+// element-wise BitEqual. The parallel tensor engine's determinism tests
+// use it: row-ownership partitioning promises results identical to the
+// serial kernels bit for bit, not merely within tolerance.
+func BitEqualSlices(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !BitEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
