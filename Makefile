@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-all check
+.PHONY: build test vet lint race bench bench-all chaos check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ bench:
 # reproductions in the root package.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fault-tolerance gate: the chaos/failover acceptance suite — fault
+# matrix, supervisor failover, transport fault injection, dead-worker
+# migrate/fetch — race-enabled and rerun from scratch every time.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Fault|Failover|Supervisor|Repair|Recover|Dead|StepOrdinal|ExpertSnapshot' \
+		./internal/broker ./internal/transport ./internal/placement \
+		./internal/checkpoint ./internal/trainer ./internal/metrics
 
 # Pre-merge gate: vet + velavet + full race-enabled test suite.
 check: vet lint race

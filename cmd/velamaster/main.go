@@ -13,11 +13,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/broker"
@@ -32,6 +36,13 @@ import (
 	"repro/internal/transport"
 )
 
+// runOptions carries the fault-tolerance knobs into run.
+type runOptions struct {
+	snapshotPath   string
+	heartbeat      time.Duration
+	requestTimeout time.Duration
+}
+
 func main() {
 	workers := flag.String("workers", "", "comma-separated worker addresses (required)")
 	devicesPerNode := flag.Int("devices-per-node", 2, "workers per physical node (first node hosts the master)")
@@ -40,17 +51,21 @@ func main() {
 	strategy := flag.String("strategy", "vela", "expert placement: vela|sequential|random|greedy")
 	pretrainSteps := flag.Int("pretrain-steps", 120, "checkpoint pre-training steps")
 	ckptPath := flag.String("ckpt", "", "checkpoint file: loaded if present, written after pre-training otherwise")
+	snapshotPath := flag.String("snapshot", "", "expert snapshot file: the latest step-boundary expert state is flushed here on exit")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "supervisor heartbeat interval (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-reply deadline on worker requests (0 disables)")
 	flag.Parse()
 
 	if *workers == "" {
 		log.Fatal("velamaster: -workers is required")
 	}
-	if err := run(strings.Split(*workers, ","), *devicesPerNode, *dataset, *strategy, *steps, *pretrainSteps, *ckptPath); err != nil {
+	opts := runOptions{snapshotPath: *snapshotPath, heartbeat: *heartbeat, requestTimeout: *requestTimeout}
+	if err := run(strings.Split(*workers, ","), *devicesPerNode, *dataset, *strategy, *steps, *pretrainSteps, *ckptPath, opts); err != nil {
 		log.Fatalf("velamaster: %v", err)
 	}
 }
 
-func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps, pretrainSteps int, ckptPath string) error {
+func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps, pretrainSteps int, ckptPath string, opts runOptions) error {
 	corpus, err := corpusFor(dataset)
 	if err != nil {
 		return err
@@ -131,6 +146,8 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		conns[i] = c
 	}
 	exec := broker.NewExecutor(conns, assign)
+	exec.RequestTimeout = opts.requestTimeout
+	exec.Recovery = &metrics.Recovery{}
 	crossNode := make([]bool, topo.NumWorkers())
 	for n := range crossNode {
 		crossNode[n] = topo.CrossNode(n)
@@ -144,6 +161,32 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 	}
 	model.SetExecutor(exec)
 
+	// The supervisor heartbeats workers in the background, keeps a
+	// step-boundary expert snapshot, and fails dead workers over onto the
+	// survivors; the trainer just retries the interrupted step.
+	sup := broker.NewSupervisor(exec, prob, broker.SupervisorConfig{HeartbeatInterval: opts.heartbeat})
+	sup.OnFailover = func(dead []int, next *placement.Assignment) {
+		fmt.Printf("  failover: workers %v lost; experts re-placed over survivors\n", dead)
+	}
+	sup.Start()
+	defer sup.Stop()
+
+	// SIGINT/SIGTERM finishes the in-flight step, flushes the final
+	// snapshot, and shuts the workers down cleanly.
+	var stopRequested atomic.Bool
+	errStopped := errors.New("velamaster: stopped by signal")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		stopRequested.Store(true)
+		fmt.Printf("\n%v — finishing current step, then flushing snapshot and shutting down\n", s)
+	}()
+
 	fmt.Printf("fine-tuning for %d steps on %s...\n", steps, corpus.Name)
 	backbone := nn.CollectTrainable(model.Params())
 	ft := &trainer.Finetuner{
@@ -153,16 +196,35 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		Batcher:    data.NewBatcher(corpus, 2, 32, 43),
 		ExpertZero: exec.ZeroGrads,
 		ExpertStep: exec.Step,
+		Recover:    sup.Recover,
+		OnStep: func(step int) error {
+			if err := sup.Checkpoint(step); err != nil {
+				return err
+			}
+			if stopRequested.Load() {
+				return errStopped
+			}
+			return nil
+		},
 	}
 	start := time.Now()
-	if err := ft.Run(steps, func(step int, loss float64) {
+	err = ft.Run(steps, func(step int, loss float64) {
 		if (step+1)%5 == 0 || step == 0 {
 			fmt.Printf("  step %3d  loss %.4f\n", step+1, loss)
 		}
-	}); err != nil {
+	})
+	if err != nil && !errors.Is(err, errStopped) {
 		return err
 	}
 	elapsed := time.Since(start)
+	sup.Stop()
+
+	if opts.snapshotPath != "" {
+		if err := sup.SaveLatest(opts.snapshotPath); err != nil {
+			return fmt.Errorf("flushing expert snapshot: %w", err)
+		}
+		fmt.Printf("flushed expert snapshot to %s\n", opts.snapshotPath)
+	}
 
 	fmt.Printf("\ndone in %v (%.3f s/step)\n", elapsed.Round(time.Millisecond), elapsed.Seconds()/float64(steps))
 	fmt.Printf("traffic: %.1f MB total, %.1f MB cross-node\n",
@@ -171,7 +233,18 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		fmt.Printf("  worker %d: %8.1f MB out, %8.1f MB in, %d messages\n",
 			n, float64(w.BytesToWorker)/1e6, float64(w.BytesFromWorker)/1e6, w.Messages)
 	}
+	if rc := exec.Recovery.Snapshot(); rc.WorkerFailovers > 0 || rc.RecvTimeouts > 0 {
+		fmt.Printf("recovery: %d failover(s), %d expert(s) restored, %d step retr%s, %d recv timeout(s)\n",
+			rc.WorkerFailovers, rc.ExpertsRecovered, rc.StepRetries, plural(rc.StepRetries, "y", "ies"), rc.RecvTimeouts)
+	}
 	return exec.Shutdown()
+}
+
+func plural(n int64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func corpusFor(name string) (*data.Corpus, error) {

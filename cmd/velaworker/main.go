@@ -7,13 +7,21 @@
 //
 //	velaworker -listen 127.0.0.1:7001 -id 0
 //
-// The process exits cleanly when the master sends a shutdown message.
+// The process exits cleanly when the master sends a shutdown message, or
+// on SIGINT/SIGTERM: the signal closes the listener and the connection,
+// the serve loop drains its in-flight compute, and the process exits 0.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"repro/internal/broker"
 	"repro/internal/transport"
@@ -31,14 +39,48 @@ func main() {
 	defer l.Close()
 	fmt.Printf("velaworker %d listening on %s\n", *id, l.Addr())
 
-	conn, err := l.Accept()
+	// Graceful shutdown: the signal handler severs the listener and the
+	// active connection; Serve then drains in-flight requests and
+	// returns, and the closed-connection error is treated as a clean
+	// exit rather than a failure.
+	var interrupted atomic.Bool
+	var connMu sync.Mutex
+	var conn transport.Conn
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		interrupted.Store(true)
+		fmt.Printf("velaworker %d: %v — draining and shutting down\n", *id, s)
+		//velavet:allow errdispatch -- shutdown path: the close errors carry no signal beyond the exit itself
+		_ = l.Close()
+		connMu.Lock()
+		if conn != nil {
+			//velavet:allow errdispatch -- shutdown path: severing the conn is the point
+			_ = conn.Close()
+		}
+		connMu.Unlock()
+	}()
+
+	c, err := l.Accept()
 	if err != nil {
+		if interrupted.Load() {
+			fmt.Printf("velaworker %d: shut down before a master connected\n", *id)
+			return
+		}
 		log.Fatalf("velaworker: accept: %v", err)
 	}
-	defer conn.Close()
+	connMu.Lock()
+	conn = c
+	connMu.Unlock()
+	defer c.Close()
 
 	w := broker.NewWorker(*id, broker.DefaultWorkerConfig())
-	if err := w.Serve(conn); err != nil {
+	if err := w.Serve(c); err != nil {
+		if interrupted.Load() && errors.Is(err, transport.ErrClosed) {
+			fmt.Printf("velaworker %d: drained and shut down after hosting %d experts\n", *id, w.NumExperts())
+			return
+		}
 		log.Fatalf("velaworker: serve: %v", err)
 	}
 	fmt.Printf("velaworker %d: clean shutdown after hosting %d experts\n", *id, w.NumExperts())

@@ -1,0 +1,198 @@
+// Chaos: the fault-tolerant broker under fire. A 3-worker VELA
+// deployment fine-tunes for a few steps while a fault injector severs
+// one worker's connection abruptly mid-step. The supervisor detects the
+// fatal failure, re-solves the placement over the survivors, restores
+// the dead worker's experts from the latest step-boundary snapshot, and
+// the trainer re-drives the interrupted step on the same batch — so the
+// run completes with the SAME loss trajectory as a failure-free run.
+//
+// Run with: go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/moe"
+	"repro/internal/nn"
+	"repro/internal/placement"
+	"repro/internal/trainer"
+	"repro/internal/transport"
+)
+
+const (
+	workers = 3
+	steps   = 8
+	killAt  = 2 // arm the connection kill after this step's snapshot
+	batch   = 2
+	seqLen  = 16
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := moe.Config{Vocab: data.VocabSize, D: 16, Heads: 2, Hidden: 24, Layers: 3, Experts: 3, TopK: 2}
+	pre := trainer.DefaultPretrain()
+	pre.Steps = 60
+
+	fmt.Println("running failure-free reference...")
+	clean, _, err := finetune(cfg, pre, false)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("running chaos: worker 2's connection is severed mid-step after step %d...\n", killAt)
+	chaos, rc, err := finetune(cfg, pre, true)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-6s %-14s %-14s\n", "step", "failure-free", "with failover")
+	maxDiff := 0.0
+	for s := range clean {
+		fmt.Printf("%-6d %-14.6f %-14.6f\n", s, clean[s], chaos[s])
+		if d := math.Abs(clean[s] - chaos[s]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("\nmax per-step loss difference: %.2e\n", maxDiff)
+	fmt.Printf("recovery: %d failover(s), %d expert(s) restored from snapshot, "+
+		"%d step retr%s, %d recv timeout(s), %d snapshot(s) taken\n",
+		rc.WorkerFailovers, rc.ExpertsRecovered,
+		rc.StepRetries, map[bool]string{true: "y", false: "ies"}[rc.StepRetries == 1],
+		rc.RecvTimeouts, rc.Snapshots)
+	return nil
+}
+
+// finetune builds a fresh deterministic checkpoint, deploys it over
+// in-process workers, and fine-tunes it — optionally killing worker 2's
+// connection abruptly after the killAt-th step's snapshot.
+func finetune(cfg moe.Config, pre trainer.PretrainConfig, kill bool) ([]float64, metrics.RecoveryCounts, error) {
+	var zero metrics.RecoveryCounts
+	model, grid, err := trainer.BuildPretrained(cfg, 8000, pre)
+	if err != nil {
+		return nil, zero, err
+	}
+	lora := trainer.LoRAConfig{Rank: 2, Alpha: 4, Seed: 21}
+	trainer.PrepareForFinetune(model, grid, lora)
+
+	// Workers run SGD so a snapshot-restored expert recomputes the
+	// retried step exactly; AdamW moments would restart on the new host.
+	dep := broker.StartLocalWorkers(workers, broker.WorkerConfig{Optimizer: broker.OptSGD, LR: 0.05})
+	conns := append([]transport.Conn(nil), dep.Conns...)
+	var faulty *transport.Faulty
+	if kill {
+		faulty = transport.NewFaulty(conns[2], 7, transport.FaultPlan{})
+		conns[2] = faulty
+	}
+
+	prob := uniformProblem(cfg)
+	assign, err := (placement.Sequential{}).Place(prob)
+	if err != nil {
+		return nil, zero, err
+	}
+	exec := broker.NewExecutor(conns, assign)
+	exec.RequestTimeout = 2 * time.Second // generous for loopback, bounded for a dead peer
+	exec.Recovery = &metrics.Recovery{}
+	spec := broker.ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: lora.Rank, LoRAAlpha: lora.Alpha}
+	if err := exec.Distribute(grid, spec); err != nil {
+		return nil, zero, err
+	}
+	model.SetExecutor(exec)
+
+	sup := broker.NewSupervisor(exec, prob, broker.SupervisorConfig{})
+	sup.OnFailover = func(dead []int, next *placement.Assignment) {
+		fmt.Printf("  supervisor: worker(s) %v declared dead, experts failed over to survivors\n", dead)
+	}
+
+	backbone := nn.CollectTrainable(model.Params())
+	ft := &trainer.Finetuner{
+		Model:      model,
+		Backbone:   backbone,
+		Opt:        nn.NewSGD(backbone, 0.05),
+		Batcher:    &randomBatcher{rng: rand.New(rand.NewSource(31)), vocab: cfg.Vocab},
+		ExpertZero: exec.ZeroGrads,
+		ExpertStep: exec.Step,
+		Recover:    sup.Recover,
+		OnStep: func(step int) error {
+			if err := sup.Checkpoint(step); err != nil {
+				return err
+			}
+			if kill && step == killAt {
+				// Armed AFTER this step's snapshot: the next frame to
+				// worker 2 severs the connection mid-step.
+				faulty.ArmClose(0)
+			}
+			return nil
+		},
+	}
+	if err := ft.Run(steps, nil); err != nil {
+		return nil, zero, err
+	}
+	if err := exec.Shutdown(); err != nil {
+		return nil, zero, err
+	}
+	for n, werr := range dep.WaitAll() {
+		if werr != nil && exec.Alive(n) {
+			return nil, zero, fmt.Errorf("live worker %d exited with %w", n, werr)
+		}
+	}
+	return ft.Losses.Values, exec.Recovery.Snapshot(), nil
+}
+
+// uniformProblem gives the supervisor's repair path a valid placement
+// instance: uniform popularity, equal bandwidth, full-grid capacity.
+func uniformProblem(cfg moe.Config) *placement.Problem {
+	p := &placement.Problem{
+		Workers: workers, Layers: cfg.Layers, Experts: cfg.Experts,
+		P:               make([][]float64, cfg.Layers),
+		Bandwidth:       make([]float64, workers),
+		Capacity:        make([]int, workers),
+		RoutingsPerStep: float64(batch * seqLen * cfg.TopK),
+		BytesPerToken:   float64(2 * cfg.D),
+		WorkerNode:      make([]int, workers),
+	}
+	for l := range p.P {
+		p.P[l] = make([]float64, cfg.Experts)
+		for e := range p.P[l] {
+			p.P[l][e] = 1.0 / float64(cfg.Experts)
+		}
+	}
+	for n := 0; n < workers; n++ {
+		p.Bandwidth[n] = 1
+		p.Capacity[n] = cfg.Layers * cfg.Experts
+		p.WorkerNode[n] = n
+	}
+	return p
+}
+
+// randomBatcher yields a deterministic sequence of distinct batches, so
+// a recovery bug that re-drove a step on the wrong batch would visibly
+// change the loss trace.
+type randomBatcher struct {
+	rng   *rand.Rand
+	vocab int
+}
+
+func (b *randomBatcher) Next() ([]int, []int) {
+	n := batch * seqLen
+	ids := make([]int, n)
+	targets := make([]int, n)
+	for i := range ids {
+		ids[i] = b.rng.Intn(b.vocab)
+		targets[i] = b.rng.Intn(b.vocab)
+	}
+	return ids, targets
+}
+
+func (b *randomBatcher) Shape() (int, int) { return batch, seqLen }

@@ -43,6 +43,20 @@ func encodeExpert(e *moe.Expert, spec ExpertSpec) *wire.Message {
 	return m
 }
 
+// encodeExpertCopy is encodeExpert with every parameter tensor deep-
+// copied. Snapshot replies must not alias live parameter memory: over the
+// in-process transport the message travels by pointer, and an aliased
+// snapshot would keep mutating as training continues — the restored
+// state after a failover would then be whatever the weights drifted to,
+// not the step boundary the snapshot named.
+func encodeExpertCopy(e *moe.Expert, spec ExpertSpec) *wire.Message {
+	m := encodeExpert(e, spec)
+	for i := range m.Tensors {
+		m.Tensors[i].Data = append([]float64(nil), m.Tensors[i].Data...)
+	}
+	return m
+}
+
 // decodeExpert rebuilds an expert from a MsgAssign message. The rebuild
 // uses a throwaway RNG — every weight is immediately overwritten by the
 // shipped values, so the architecture is all that matters.

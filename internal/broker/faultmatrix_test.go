@@ -1,0 +1,110 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+)
+
+// TestFaultMatrix drives every broker operation class through every
+// Faulty failure mode on one worker's connection and checks the
+// contract: absorbable faults (delay, duplicate delivery) succeed;
+// fatal faults (drop, abrupt close, one-way partitions) surface the
+// matching transport sentinel without hanging and without disturbing
+// the healthy worker. Deterministic: every fault fires with
+// probability 1 or at an armed send count.
+func TestFaultMatrix(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t, "repro/internal/broker", "repro/internal/transport")
+
+	type opCase struct {
+		name string
+		run  func(t *testing.T, x *Executor) error
+	}
+	cfg := testConfig()
+	forwardBatches := func() map[int]*tensor.Tensor {
+		b := map[int]*tensor.Tensor{}
+		for e := 0; e < cfg.Experts; e++ {
+			b[e] = tensor.Zeros(2, cfg.D)
+		}
+		return b
+	}
+	ops := []opCase{
+		{"forward", func(t *testing.T, x *Executor) error {
+			_, err := x.ForwardExperts(0, forwardBatches())
+			return err
+		}},
+		{"backward", func(t *testing.T, x *Executor) error {
+			_, err := x.BackwardExperts(0, forwardBatches())
+			return err
+		}},
+		{"control", func(t *testing.T, x *Executor) error {
+			return x.ZeroGrads()
+		}},
+	}
+
+	type faultCase struct {
+		name     string
+		plan     transport.FaultPlan
+		armClose bool
+		// wantErr nil means the operation must succeed; otherwise the
+		// returned error must satisfy errors.Is against it.
+		wantErr error
+	}
+	faults := []faultCase{
+		{"delay", transport.FaultPlan{DelayProb: 1, MaxDelay: 2 * time.Millisecond}, false, nil},
+		{"duplicate", transport.FaultPlan{DupProb: 1}, false, nil},
+		{"drop", transport.FaultPlan{DropProb: 1}, false, transport.ErrTimeout},
+		{"close", transport.FaultPlan{}, true, transport.ErrClosed},
+		{"partition-send", transport.FaultPlan{PartitionSend: true}, false, transport.ErrTimeout},
+		{"partition-recv", transport.FaultPlan{PartitionRecv: true}, false, transport.ErrTimeout},
+	}
+
+	for _, fc := range faults {
+		for _, oc := range ops {
+			t.Run(fc.name+"/"+oc.name, func(t *testing.T) {
+				_, grid := buildFinetuneSetup(cfg, 23)
+				dep := StartLocalWorkers(2, WorkerConfig{Optimizer: OptSGD, LR: 0.1})
+				assign := roundRobinAssignment(cfg, 2)
+
+				// Distribute over the clean connections, then interpose the
+				// fault on worker 1 for the operation under test.
+				setup := NewExecutor(dep.Conns, assign)
+				if err := setup.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+					t.Fatal(err)
+				}
+				// Backward needs cached activations on the worker.
+				if _, err := setup.ForwardExperts(0, forwardBatches()); err != nil {
+					t.Fatal(err)
+				}
+
+				faulty := transport.NewFaulty(dep.Conns[1], 5, fc.plan)
+				if fc.armClose {
+					faulty.ArmClose(0)
+				}
+				exec := NewExecutor([]transport.Conn{dep.Conns[0], faulty}, assign)
+				exec.RequestTimeout = 15 * time.Millisecond
+				exec.MaxRecvRetries = 1
+
+				err := oc.run(t, exec)
+				if fc.wantErr == nil {
+					if err != nil {
+						t.Fatalf("%s under %s must succeed, got %v", oc.name, fc.name, err)
+					}
+				} else if !errors.Is(err, fc.wantErr) {
+					t.Fatalf("%s under %s = %v, want %v", oc.name, fc.name, err, fc.wantErr)
+				}
+
+				// The healthy worker keeps serving regardless.
+				if out, err := exec.ForwardExperts(0, map[int]*tensor.Tensor{0: tensor.Zeros(1, cfg.D)}); err != nil || out[0] == nil {
+					t.Fatalf("healthy worker stopped serving after %s/%s: %v", fc.name, oc.name, err)
+				}
+				dep.Close()
+				_ = dep.WaitAll()
+			})
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/metrics"
 	"repro/internal/moe"
 	"repro/internal/placement"
@@ -17,6 +20,12 @@ import (
 // Executor.MaxInFlight is unset. It bounds master-side memory while
 // keeping every worker's executor pool saturated.
 const DefaultMaxInFlight = 64
+
+// ErrWorkerDead is wrapped by every operation that targets a worker the
+// supervisor has declared dead; errors.Is(err, ErrWorkerDead) lets the
+// recovery path distinguish "known-dead, fail fast" from a fresh
+// transport failure.
+var ErrWorkerDead = errors.New("broker: worker marked dead")
 
 // Executor is the master-side half of the Expert Broker: it implements
 // moe.Executor by shipping per-expert token batches to the workers that
@@ -52,16 +61,78 @@ type Executor struct {
 	// MaxInFlight bounds how many requests may be outstanding per worker
 	// connection at once. <= 0 selects DefaultMaxInFlight.
 	MaxInFlight int
+	// RequestTimeout, when > 0, bounds how long the reader waits for each
+	// reply before declaring a timeout. Timeouts are retried in place (the
+	// request is never re-sent; the wait is extended with exponential
+	// backoff) up to MaxRecvRetries times, then surface as an error
+	// wrapping transport.ErrTimeout.
+	RequestTimeout time.Duration
+	// MaxRecvRetries bounds the extra deadline extensions after the first
+	// expired reply wait. < 0 disables retries; 0 selects
+	// DefaultMaxRecvRetries.
+	MaxRecvRetries int
+	// Recovery, when non-nil, receives fault-tolerance counters (timeouts,
+	// retries, stale/duplicate replies). A nil meter discards them.
+	Recovery *metrics.Recovery
 
 	seq atomic.Uint64
+	// connSem serializes rounds per connection so the supervisor's
+	// heartbeats can interleave with the trainer's exchanges without a
+	// mutex around blocking transport calls (channel semaphores keep the
+	// broker within the locklint discipline).
+	connSem []chan struct{}
+	// dead[n] marks worker n as failed-over: its connection is closed and
+	// every subsequent round against it fails fast with ErrWorkerDead.
+	dead []atomic.Bool
+	// stepOrd is the ordinal stamped on MsgStep broadcasts; it advances
+	// only when the whole broadcast succeeds, so a retried step re-uses
+	// the same ordinal and already-stepped workers dedup it.
+	stepOrd int
 }
 
 var _ moe.Executor = (*Executor)(nil)
 
+// DefaultMaxRecvRetries is the reply-wait retry bound used when
+// Executor.MaxRecvRetries is zero.
+const DefaultMaxRecvRetries = 2
+
 // NewExecutor builds a master-side executor over per-worker connections
 // and an expert-to-worker assignment.
 func NewExecutor(conns []transport.Conn, assign *placement.Assignment) *Executor {
-	return &Executor{conns: conns, assign: assign, BytesPerValue: 2}
+	x := &Executor{conns: conns, assign: assign, BytesPerValue: 2}
+	x.connSem = make([]chan struct{}, len(conns))
+	for i := range x.connSem {
+		x.connSem[i] = make(chan struct{}, 1)
+	}
+	x.dead = make([]atomic.Bool, len(conns))
+	return x
+}
+
+// NumWorkers returns the size of the worker pool, dead workers included.
+func (x *Executor) NumWorkers() int { return len(x.conns) }
+
+// Alive reports whether worker n has not been marked dead.
+func (x *Executor) Alive(n int) bool { return !x.dead[n].Load() }
+
+// MarkDead declares worker n failed: its connection is closed (waking any
+// goroutine blocked on it) and every later round against it fails fast
+// with ErrWorkerDead. Idempotent.
+func (x *Executor) MarkDead(n int) {
+	if x.dead[n].Swap(true) {
+		return
+	}
+	//velavet:allow errdispatch -- the worker is being abandoned; its close error carries no signal
+	_ = x.conns[n].Close()
+}
+
+// DeadMask returns the per-worker liveness flags in placement.Repair's
+// convention (true = dead).
+func (x *Executor) DeadMask() []bool {
+	mask := make([]bool, len(x.conns))
+	for n := range mask {
+		mask[n] = x.dead[n].Load()
+	}
+	return mask
 }
 
 // SetAssignment swaps the placement (e.g. after re-solving); the caller
@@ -82,10 +153,42 @@ func (x *Executor) window() int {
 	return DefaultMaxInFlight
 }
 
+// recvRetries returns the effective reply-wait retry bound.
+func (x *Executor) recvRetries() int {
+	switch {
+	case x.MaxRecvRetries > 0:
+		return x.MaxRecvRetries
+	case x.MaxRecvRetries < 0:
+		return 0
+	}
+	return DefaultMaxRecvRetries
+}
+
+// acquire takes worker n's round semaphore, failing fast if the worker is
+// dead. The double check after the acquire closes the race where the
+// supervisor marks a worker dead while a round is queued on the
+// semaphore.
+func (x *Executor) acquire(n int) error {
+	if x.dead[n].Load() {
+		return fmt.Errorf("broker: worker %d: %w", n, ErrWorkerDead)
+	}
+	x.connSem[n] <- struct{}{}
+	if x.dead[n].Load() {
+		<-x.connSem[n]
+		return fmt.Errorf("broker: worker %d: %w", n, ErrWorkerDead)
+	}
+	return nil
+}
+
+func (x *Executor) release(n int) { <-x.connSem[n] }
+
 // pipelined issues msgs to worker n with a bounded in-flight window: a
 // writer goroutine streams the requests (stamping fresh Seq values) while
 // the calling goroutine collects exactly one reply per successful send,
-// matching replies to requests by Seq rather than arrival order.
+// matching replies to requests by Seq rather than arrival order. Rounds
+// on the same connection are serialized by a channel semaphore so the
+// supervisor's heartbeats and the trainer's exchanges never interleave
+// frames.
 //
 // Failure semantics: a worker-side MsgError or an unexpected reply is
 // recorded but the remaining replies are still drained, so the connection
@@ -93,11 +196,31 @@ func (x *Executor) window() int {
 // abandons the connection (nothing more can arrive); a Send error stops
 // the writer but the already-sent requests are still drained.
 //
+// When RequestTimeout is set, each reply wait carries a deadline. An
+// expired wait is retried in place — the request is never re-sent (a
+// re-sent MsgBackward would double-accumulate gradients); the deadline is
+// extended with exponential backoff (timeout, 2·timeout, 4·timeout, …)
+// up to recvRetries extra waits, after which the round fails with an
+// error wrapping transport.ErrTimeout. Replies from an abandoned earlier
+// round (Seq below this round's range) and duplicate deliveries of an
+// already-consumed Seq are discarded without consuming a reply slot, so a
+// chaos transport that duplicates frames cannot poison correlation.
+//
 // onSent (optional) runs on the writer goroutine after request i is on
 // the wire; onReply runs on the reader for every successfully correlated
 // non-error reply.
 func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), onReply func(i int, reply *wire.Message) error) error {
+	if err := x.acquire(n); err != nil {
+		return err
+	}
+	defer x.release(n)
 	conn := x.conns[n]
+	timeout := x.RequestTimeout
+	if timeout > 0 {
+		// Clear the deadline on the way out so a later round without
+		// timeouts does not inherit a stale one.
+		defer transport.SetRecvDeadline(conn, time.Time{})
+	}
 
 	var errMu sync.Mutex
 	var firstErr error
@@ -123,6 +246,10 @@ func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), on
 
 	var pendMu sync.Mutex
 	pending := make(map[uint64]int, x.window())
+	completed := make(map[uint64]bool, len(msgs))
+	// Seqs below this round's first stamp belong to abandoned earlier
+	// rounds; their late replies are stale, not protocol errors.
+	startSeq := x.seq.Load() + 1
 
 	go func() {
 		defer close(sent)
@@ -153,29 +280,59 @@ func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), on
 	}()
 
 	for range sent {
-		reply, err := conn.Recv()
-		if err != nil {
-			fail(fmt.Errorf("broker: recv from worker %d: %w", n, err))
-			close(abort)
-			return errOut()
-		}
-		<-slots
-		pendMu.Lock()
-		i, ok := pending[reply.Seq]
-		if ok {
-			delete(pending, reply.Seq)
-		}
-		pendMu.Unlock()
-		if !ok {
-			fail(fmt.Errorf("broker: worker %d sent %v reply with unknown seq %d", n, reply.Type, reply.Seq))
-			continue
-		}
-		if reply.Type == wire.MsgError {
-			fail(fmt.Errorf("broker: worker %d: %s", n, reply.Text))
-			continue
-		}
-		if err := onReply(i, reply); err != nil {
-			fail(err)
+		var reply *wire.Message
+		for attempt := 0; ; {
+			if timeout > 0 {
+				transport.SetRecvDeadline(conn, time.Now().Add(timeout<<attempt))
+			}
+			var err error
+			reply, err = conn.Recv()
+			if err != nil {
+				if timeout > 0 && errors.Is(err, transport.ErrTimeout) {
+					x.Recovery.AddRecvTimeout()
+					if attempt < x.recvRetries() {
+						attempt++
+						x.Recovery.AddRecvRetry()
+						continue
+					}
+				}
+				fail(fmt.Errorf("broker: recv from worker %d: %w", n, err))
+				close(abort)
+				return errOut()
+			}
+			pendMu.Lock()
+			i, ok := pending[reply.Seq]
+			if ok {
+				delete(pending, reply.Seq)
+				completed[reply.Seq] = true
+			}
+			dup := !ok && completed[reply.Seq]
+			pendMu.Unlock()
+			if !ok {
+				switch {
+				case reply.Seq < startSeq:
+					// A straggler from an abandoned round: absorb it
+					// without consuming this round's reply slot.
+					x.Recovery.AddStaleReply()
+					continue
+				case dup:
+					x.Recovery.AddDuplicateReply()
+					continue
+				}
+				fail(fmt.Errorf("broker: worker %d sent %v reply with unknown seq %d", n, reply.Type, reply.Seq))
+			}
+			<-slots
+			if !ok {
+				break // consumed the slot for the garbage reply; move on
+			}
+			if reply.Type == wire.MsgError {
+				fail(fmt.Errorf("broker: worker %d: %s", n, reply.Text))
+				break
+			}
+			if err := onReply(i, reply); err != nil {
+				fail(err)
+			}
+			break
 		}
 	}
 	return errOut()
@@ -321,23 +478,37 @@ func (x *Executor) exchange(layer int, batches map[int]*tensor.Tensor, reqType, 
 	return results, nil
 }
 
-// ZeroGrads broadcasts a gradient-clear to all workers and awaits acks.
-func (x *Executor) ZeroGrads() error { return x.broadcast(wire.MsgZeroGrad) }
+// ZeroGrads broadcasts a gradient-clear to all live workers and awaits
+// acks.
+func (x *Executor) ZeroGrads() error { return x.broadcast(wire.MsgZeroGrad, 0) }
 
-// Step broadcasts an optimizer step to all workers and awaits acks.
-func (x *Executor) Step() error { return x.broadcast(wire.MsgStep) }
+// Step broadcasts an optimizer step to all live workers and awaits acks.
+// Each broadcast is stamped with a step ordinal that advances only on
+// success: a step retried after a failover re-uses the same ordinal, and
+// workers that already applied it ack without stepping twice.
+func (x *Executor) Step() error {
+	ord := x.stepOrd + 1
+	if err := x.broadcast(wire.MsgStep, int32(ord)); err != nil {
+		return err
+	}
+	x.stepOrd = ord
+	return nil
+}
 
-// Shutdown asks every worker to terminate and awaits acks.
-func (x *Executor) Shutdown() error { return x.broadcast(wire.MsgShutdown) }
+// Shutdown asks every live worker to terminate and awaits acks.
+func (x *Executor) Shutdown() error { return x.broadcast(wire.MsgShutdown, 0) }
 
 // Checksums collects per-worker (Σ value, Σ grad, #params) diagnostics.
-// All workers are queried in parallel and worker-side errors are
-// surfaced.
+// All live workers are queried in parallel and worker-side errors are
+// surfaced; dead workers yield a nil entry.
 func (x *Executor) Checksums() ([][]float64, error) {
 	out := make([][]float64, len(x.conns))
 	var wg sync.WaitGroup
 	errs := make([]error, len(x.conns))
 	for n := range x.conns {
+		if !x.Alive(n) {
+			continue
+		}
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
@@ -360,14 +531,21 @@ func (x *Executor) Checksums() ([][]float64, error) {
 	return out, nil
 }
 
-func (x *Executor) broadcast(t wire.MsgType) error {
+// broadcast sends a control message (with the given Layer stamp) to every
+// live worker in parallel and awaits acks. Dead workers are skipped: they
+// hold no experts after a failover, so control traffic to them would only
+// re-surface the failure the supervisor already handled.
+func (x *Executor) broadcast(t wire.MsgType, layer int32) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(x.conns))
 	for n := range x.conns {
+		if !x.Alive(n) {
+			continue
+		}
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			msgs := []*wire.Message{{Type: t}}
+			msgs := []*wire.Message{{Type: t, Layer: layer}}
 			errs[n] = x.pipelined(n, msgs, nil, func(_ int, reply *wire.Message) error {
 				if reply.Type != wire.MsgAck {
 					return fmt.Errorf("broker: worker %d replied %v to %v", n, reply.Type, t)
@@ -383,6 +561,146 @@ func (x *Executor) broadcast(t wire.MsgType) error {
 		}
 	}
 	return nil
+}
+
+// Ping probes worker n with a heartbeat and reports whether it answered.
+// The probe rides the normal pipelined path, so it honours
+// RequestTimeout and serializes with in-flight rounds on the connection.
+func (x *Executor) Ping(n int) error {
+	return x.pipelined(n, []*wire.Message{{Type: wire.MsgPing}}, nil,
+		func(_ int, reply *wire.Message) error {
+			if reply.Type != wire.MsgPong {
+				return fmt.Errorf("broker: worker %d replied %v to ping", n, reply.Type)
+			}
+			return nil
+		})
+}
+
+// snapshotExpert pulls a non-destructive copy of expert (layer, e) from
+// worker n in MsgAssign layout.
+func (x *Executor) snapshotExpert(n, layer, e int) (*wire.Message, error) {
+	var payload *wire.Message
+	err := x.pipelined(n, []*wire.Message{{Type: wire.MsgSnapshot, Layer: int32(layer), Expert: int32(e)}}, nil,
+		func(_ int, reply *wire.Message) error {
+			if reply.Type != wire.MsgSnapshotResult {
+				return fmt.Errorf("broker: worker %d replied %v to snapshot", n, reply.Type)
+			}
+			payload = reply
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// SnapshotExperts pulls a non-destructive copy of every hosted expert and
+// packages it as a step-stamped checkpoint snapshot — the state the
+// supervisor restores from when a worker dies. Live workers are queried
+// in parallel; the per-worker request streams are pipelined.
+func (x *Executor) SnapshotExperts(step int) (*checkpoint.ExpertSnapshot, error) {
+	type le struct{ l, e int }
+	perWorker := make(map[int][]le)
+	for l, row := range x.assign.Worker {
+		for e, n := range row {
+			perWorker[n] = append(perWorker[n], le{l, e})
+		}
+	}
+	var mu sync.Mutex
+	got := make(map[le][]wire.Matrix)
+	var wg sync.WaitGroup
+	errs := make([]error, 0, len(perWorker))
+	errAt := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+	for n, experts := range perWorker {
+		wg.Add(1)
+		go func(n int, experts []le) {
+			defer wg.Done()
+			msgs := make([]*wire.Message, len(experts))
+			for i, id := range experts {
+				msgs[i] = &wire.Message{Type: wire.MsgSnapshot, Layer: int32(id.l), Expert: int32(id.e)}
+			}
+			err := x.pipelined(n, msgs, nil, func(i int, reply *wire.Message) error {
+				if reply.Type != wire.MsgSnapshotResult {
+					return fmt.Errorf("broker: worker %d replied %v to snapshot", n, reply.Type)
+				}
+				mu.Lock()
+				got[experts[i]] = reply.Tensors
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				errAt(err)
+			}
+		}(n, experts)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	snap := &checkpoint.ExpertSnapshot{Step: step}
+	for l, row := range x.assign.Worker {
+		for e := range row {
+			tensors, ok := got[le{l, e}]
+			if !ok {
+				return nil, fmt.Errorf("broker: snapshot missing expert L%d/E%d", l, e)
+			}
+			entry := checkpoint.ExpertEntry{Layer: l, Expert: e, Tensors: make([]checkpoint.StateTensor, len(tensors))}
+			for ti, t := range tensors {
+				entry.Tensors[ti] = checkpoint.StateTensor{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
+			}
+			snap.Entries = append(snap.Entries, entry)
+		}
+	}
+	x.Recovery.AddSnapshot()
+	return snap, nil
+}
+
+// RestoreExperts replays snapshot entries onto the workers the given
+// assignment names for them — the re-distribution half of a failover.
+// Entries are grouped per worker and shipped in parallel as ordinary
+// MsgAssign messages, so the receiving worker rebuilds the expert exactly
+// as initial Distribute would.
+func (x *Executor) RestoreExperts(entries []checkpoint.ExpertEntry, assign *placement.Assignment) error {
+	perWorker := make(map[int][]*wire.Message)
+	for _, entry := range entries {
+		n := assign.Worker[entry.Layer][entry.Expert]
+		msg := &wire.Message{
+			Type: wire.MsgAssign, Layer: int32(entry.Layer), Expert: int32(entry.Expert),
+			Tensors: make([]wire.Matrix, len(entry.Tensors)),
+		}
+		for ti, t := range entry.Tensors {
+			msg.Tensors[ti] = wire.Matrix{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
+		}
+		perWorker[n] = append(perWorker[n], msg)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for n, msgs := range perWorker {
+		wg.Add(1)
+		go func(n int, msgs []*wire.Message) {
+			defer wg.Done()
+			err := x.pipelined(n, msgs, nil, func(_ int, reply *wire.Message) error {
+				if reply.Type != wire.MsgAck {
+					return fmt.Errorf("broker: worker %d replied %v to restore-assign", n, reply.Type)
+				}
+				return nil
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(n, msgs)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // LocalDeployment wires up n in-process workers over channel pipes — the
@@ -424,6 +742,14 @@ func (d *LocalDeployment) Wait() error {
 		}
 	}
 	return nil
+}
+
+// WaitAll blocks until all workers exit and returns each worker's serve
+// error (nil for a clean shutdown). Chaos tests use it to assert that
+// only the deliberately killed workers errored.
+func (d *LocalDeployment) WaitAll() []error {
+	d.wg.Wait()
+	return append([]error(nil), d.serveErr...)
 }
 
 // Close severs all connections (for abnormal teardown in tests).

@@ -34,6 +34,14 @@ func (x *Executor) Fetch(layer, e int) (*wire.Message, error) {
 // experts that stay behind (see Worker's optimizer rebinding); the moved
 // expert's own moments restart on the destination, which matches how
 // production systems commonly handle expert migration.
+//
+// The move is ordered for failure atomicity: the source is snapshotted
+// (non-destructively), the copy is installed on dst, the assignment flips,
+// and only then is the source copy released. A failure at any point
+// before the flip — dst dead, dst rejecting the assign, src unreachable —
+// leaves the assignment unchanged and the expert still served by src; the
+// worst post-flip failure (release failing) leaves a stale, unreferenced
+// copy on src that the next Fetch or shutdown clears.
 func (x *Executor) Migrate(layer, e, dst int) error {
 	src := x.workerOf(layer, e)
 	if src == dst {
@@ -42,7 +50,10 @@ func (x *Executor) Migrate(layer, e, dst int) error {
 	if dst < 0 || dst >= len(x.conns) {
 		return fmt.Errorf("broker: migrate destination %d out of range", dst)
 	}
-	payload, err := x.Fetch(layer, e)
+	if !x.Alive(dst) {
+		return fmt.Errorf("broker: migrate destination %d: %w", dst, ErrWorkerDead)
+	}
+	payload, err := x.snapshotExpert(src, layer, e)
 	if err != nil {
 		return err
 	}
@@ -60,6 +71,20 @@ func (x *Executor) Migrate(layer, e, dst int) error {
 		return err
 	}
 	x.assign.Worker[layer][e] = dst
+	// Release the now-stale source copy. The migration has already taken
+	// effect; a release failure is surfaced but does not undo it.
+	err = x.pipelined(src, []*wire.Message{
+		{Type: wire.MsgFetch, Layer: int32(layer), Expert: int32(e)},
+	}, nil, func(_ int, reply *wire.Message) error {
+		if reply.Type != wire.MsgFetchResult {
+			return fmt.Errorf("broker: worker %d replied %v to release-fetch", src, reply.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("broker: migrated L%d/E%d to worker %d but releasing the source copy on worker %d failed: %w",
+			layer, e, dst, src, err)
+	}
 	return nil
 }
 

@@ -1,0 +1,255 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/transport"
+)
+
+// SupervisorConfig tunes failure detection. The zero value disables the
+// background heartbeat (Probe can still be called manually) and uses the
+// default failure threshold.
+type SupervisorConfig struct {
+	// HeartbeatInterval is the period of the background ping loop started
+	// by Start. <= 0 disables the loop.
+	HeartbeatInterval time.Duration
+	// FailureThreshold is how many consecutive missed heartbeats declare
+	// a worker dead. <= 0 selects DefaultFailureThreshold.
+	FailureThreshold int
+}
+
+// DefaultFailureThreshold is the consecutive-missed-heartbeat bound used
+// when SupervisorConfig.FailureThreshold is unset.
+const DefaultFailureThreshold = 2
+
+// Supervisor is the broker's failure handler: it heartbeats workers in
+// the background, keeps the latest step-boundary expert snapshot, and on
+// a fatal worker failure executes the failover — mark the worker dead,
+// re-solve the placement over the survivors (placement.Repair), restore
+// the orphaned experts from the snapshot onto their new hosts, and swap
+// the executor's assignment. The trainer wires Recover as its step
+// recovery hook and Checkpoint as its step-boundary hook, and then sees
+// a worker death as at most a retried step.
+//
+// Concurrency: the heartbeat loop runs on its own goroutine and only
+// calls Ping (which serializes with training rounds on each connection's
+// semaphore) and MarkDead (atomic). Checkpoint and Recover must be
+// called from the training goroutine, like every other Executor round.
+type Supervisor struct {
+	exec *Executor
+	prob *placement.Problem
+	cfg  SupervisorConfig
+	// Recovery receives heartbeat/failover counters; defaults to the
+	// executor's meter so all fault-tolerance counts land in one place.
+	Recovery *metrics.Recovery
+	// OnFailover, when non-nil, is invoked after a completed failover
+	// with the workers declared dead in this round and the repaired
+	// assignment (useful for logging and test assertions).
+	OnFailover func(dead []int, next *placement.Assignment)
+
+	mu     sync.Mutex
+	latest *checkpoint.ExpertSnapshot
+	missed []int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSupervisor builds a supervisor over the executor and the placement
+// problem its assignment solves (Repair re-solves against it after a
+// failure).
+func NewSupervisor(exec *Executor, prob *placement.Problem, cfg SupervisorConfig) *Supervisor {
+	return &Supervisor{
+		exec:     exec,
+		prob:     prob,
+		cfg:      cfg,
+		Recovery: exec.Recovery,
+		missed:   make([]int, exec.NumWorkers()),
+	}
+}
+
+func (s *Supervisor) failureThreshold() int {
+	if s.cfg.FailureThreshold > 0 {
+		return s.cfg.FailureThreshold
+	}
+	return DefaultFailureThreshold
+}
+
+// Start launches the background heartbeat loop. No-op when the interval
+// is unset or the loop already runs.
+func (s *Supervisor) Start() {
+	if s.cfg.HeartbeatInterval <= 0 || s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.heartbeatLoop()
+}
+
+// Stop terminates the heartbeat loop and waits for its goroutine to
+// exit; the supervisor leaks nothing once Stop returns. Idempotent.
+func (s *Supervisor) Stop() {
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop = nil
+	s.done = nil
+}
+
+func (s *Supervisor) heartbeatLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Probe()
+		}
+	}
+}
+
+// Probe heartbeats every live worker once. A worker that misses
+// FailureThreshold consecutive probes is marked dead — which closes its
+// connection and converts any round blocked on it into a fast failure
+// the trainer's recovery path then handles. Probe never performs the
+// failover itself: restoring experts mid-step would race the training
+// round, so detection and repair are deliberately split.
+func (s *Supervisor) Probe() {
+	for n := 0; n < s.exec.NumWorkers(); n++ {
+		if !s.exec.Alive(n) {
+			continue
+		}
+		err := s.exec.Ping(n)
+		s.Recovery.AddHeartbeat(err == nil)
+		s.mu.Lock()
+		if err == nil {
+			s.missed[n] = 0
+			s.mu.Unlock()
+			continue
+		}
+		s.missed[n]++
+		dead := s.missed[n] >= s.failureThreshold()
+		s.mu.Unlock()
+		if dead || errors.Is(err, transport.ErrClosed) {
+			s.exec.MarkDead(n)
+		}
+	}
+}
+
+// Checkpoint pulls a step-stamped snapshot of every hosted expert and
+// retains it as the failover restore point. Wire it as the trainer's
+// OnStep hook.
+func (s *Supervisor) Checkpoint(step int) error {
+	snap, err := s.exec.SnapshotExperts(step)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.latest = snap
+	s.mu.Unlock()
+	return nil
+}
+
+// Latest returns the retained snapshot (nil before the first
+// Checkpoint).
+func (s *Supervisor) Latest() *checkpoint.ExpertSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest
+}
+
+// SaveLatest writes the retained snapshot to path (atomic rename); a
+// no-op returning nil when no snapshot has been taken yet.
+func (s *Supervisor) SaveLatest(path string) error {
+	snap := s.Latest()
+	if snap == nil {
+		return nil
+	}
+	return checkpoint.SaveExpertSnapshotFile(path, snap)
+}
+
+// Recover classifies a failed training step and, for fatal failures,
+// executes the failover. Wire it as the trainer's Recover hook.
+//
+// Classification: every live worker is pinged once. Workers that answer
+// were merely slow (or an already-handled failure tripped the step) —
+// the failure is transient and the step is simply retried. Workers that
+// do not answer are marked dead and their experts are restored from the
+// latest snapshot onto survivors chosen by placement.Repair.
+func (s *Supervisor) Recover(step int, cause error) error {
+	var newlyDead []int
+	for n := 0; n < s.exec.NumWorkers(); n++ {
+		if !s.exec.Alive(n) {
+			continue
+		}
+		if err := s.exec.Ping(n); err != nil {
+			s.Recovery.AddHeartbeat(false)
+			s.exec.MarkDead(n)
+			newlyDead = append(newlyDead, n)
+		} else {
+			s.Recovery.AddHeartbeat(true)
+		}
+	}
+	if len(newlyDead) == 0 {
+		// Transient: nothing to repair — retry the step. Guard against a
+		// cause that implicates a worker the ping path somehow still
+		// reaches; retrying is correct there too (the round will fail
+		// again and re-enter Recover if the condition persists).
+		s.Recovery.AddStepRetry()
+		return nil
+	}
+	if err := s.failover(newlyDead); err != nil {
+		return fmt.Errorf("broker: failover after %v: %w", cause, err)
+	}
+	s.Recovery.AddStepRetry()
+	return nil
+}
+
+// failover re-places the dead workers' experts over the survivors and
+// restores their snapshot state onto the new hosts.
+func (s *Supervisor) failover(newlyDead []int) error {
+	snap := s.Latest()
+	if snap == nil {
+		return errors.New("broker: no expert snapshot to restore from (wire Supervisor.Checkpoint as the trainer's OnStep hook)")
+	}
+	current := s.exec.Assignment()
+	deadMask := s.exec.DeadMask()
+	next, err := placement.Repair(s.prob, current, deadMask)
+	if err != nil {
+		return err
+	}
+	// Orphans = experts whose current host is dead; their state comes
+	// from the snapshot, their new host from the repaired assignment.
+	var orphans []checkpoint.ExpertEntry
+	for l, row := range current.Worker {
+		for e, n := range row {
+			if !deadMask[n] {
+				continue
+			}
+			entry := snap.Find(l, e)
+			if entry == nil {
+				return fmt.Errorf("broker: snapshot (step %d) has no entry for orphaned expert L%d/E%d", snap.Step, l, e)
+			}
+			orphans = append(orphans, *entry)
+		}
+	}
+	if err := s.exec.RestoreExperts(orphans, next); err != nil {
+		return err
+	}
+	s.exec.SetAssignment(next)
+	s.Recovery.AddFailover(len(orphans))
+	if s.OnFailover != nil {
+		s.OnFailover(newlyDead, next)
+	}
+	return nil
+}

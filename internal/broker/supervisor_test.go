@@ -1,0 +1,337 @@
+package broker
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/moe"
+	"repro/internal/nn"
+	"repro/internal/placement"
+	"repro/internal/testutil"
+	"repro/internal/trainer"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// uniformProblem builds a valid placement problem over the test grid with
+// uniform popularity and generous capacity — the repair path's input.
+func uniformProblem(cfg moe.Config, workers int) *placement.Problem {
+	p := &placement.Problem{
+		Workers: workers, Layers: cfg.Layers, Experts: cfg.Experts,
+		P:               make([][]float64, cfg.Layers),
+		Bandwidth:       make([]float64, workers),
+		Capacity:        make([]int, workers),
+		RoutingsPerStep: 64,
+		BytesPerToken:   float64(2 * cfg.D),
+		WorkerNode:      make([]int, workers),
+	}
+	for l := range p.P {
+		p.P[l] = make([]float64, cfg.Experts)
+		for e := range p.P[l] {
+			p.P[l][e] = 1.0 / float64(cfg.Layers*cfg.Experts)
+		}
+	}
+	for n := 0; n < workers; n++ {
+		p.Bandwidth[n] = 1
+		p.Capacity[n] = cfg.Layers * cfg.Experts
+		p.WorkerNode[n] = n
+	}
+	return p
+}
+
+// chaosBatcher yields a deterministic sequence of distinct batches, so a
+// recovery bug that re-drives a step on the WRONG batch changes the loss
+// trace (a FixedBatcher would hide it).
+type chaosBatcher struct {
+	rng           *rand.Rand
+	vocab         int
+	batch, seqLen int
+}
+
+func (b *chaosBatcher) Next() ([]int, []int) {
+	n := b.batch * b.seqLen
+	ids := make([]int, n)
+	targets := make([]int, n)
+	for i := range ids {
+		ids[i] = b.rng.Intn(b.vocab)
+		targets[i] = b.rng.Intn(b.vocab)
+	}
+	return ids, targets
+}
+
+func (b *chaosBatcher) Shape() (int, int) { return b.batch, b.seqLen }
+
+// chaosRun drives a short distributed fine-tune over three workers,
+// optionally killing worker 2 abruptly after step 1 via an armed Faulty
+// close, and returns the per-step losses plus the executor for state
+// assertions. Workers run SGD so a snapshot-restored expert recomputes
+// the retried step exactly (AdamW moments deliberately restart on
+// failover — that path is asserted separately, not for loss equality).
+func chaosRun(t *testing.T, kill bool) ([]float64, *Executor, *Supervisor, []error) {
+	t.Helper()
+	const steps, workers = 6, 3
+	cfg := testConfig()
+	model, grid := buildFinetuneSetup(cfg, 11)
+	dep := StartLocalWorkers(workers, WorkerConfig{Optimizer: OptSGD, LR: 0.05})
+
+	conns := append([]transport.Conn(nil), dep.Conns...)
+	var faulty *transport.Faulty
+	if kill {
+		faulty = transport.NewFaulty(conns[2], 7, transport.FaultPlan{})
+		conns[2] = faulty
+	}
+	exec := NewExecutor(conns, roundRobinAssignment(cfg, workers))
+	exec.RequestTimeout = 2 * time.Second
+	exec.Recovery = &metrics.Recovery{}
+	if err := exec.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+		t.Fatal(err)
+	}
+	model.SetExecutor(exec)
+
+	sup := NewSupervisor(exec, uniformProblem(cfg, workers), SupervisorConfig{})
+	backbone := nn.CollectTrainable(model.Params())
+	ft := &trainer.Finetuner{
+		Model:      model,
+		Backbone:   backbone,
+		Opt:        nn.NewSGD(backbone, 0.05),
+		Batcher:    &chaosBatcher{rng: rand.New(rand.NewSource(31)), vocab: cfg.Vocab, batch: 2, seqLen: 8},
+		ExpertZero: exec.ZeroGrads,
+		ExpertStep: exec.Step,
+		Recover:    sup.Recover,
+		OnStep: func(step int) error {
+			if err := sup.Checkpoint(step); err != nil {
+				return err
+			}
+			if kill && step == 1 {
+				// Arm AFTER the step-1 snapshot: the very next frame to
+				// worker 2 (step 2's first broadcast or dispatch) severs
+				// the connection mid-step.
+				faulty.ArmClose(0)
+			}
+			return nil
+		},
+	}
+	if err := ft.Run(steps, nil); err != nil {
+		t.Fatalf("run (kill=%v): %v", kill, err)
+	}
+	if err := exec.Shutdown(); err != nil {
+		t.Fatalf("shutdown (kill=%v): %v", kill, err)
+	}
+	return ft.Losses.Values, exec, sup, dep.WaitAll()
+}
+
+// TestChaosFailoverMatchesFailureFree is the acceptance test of the
+// fault-tolerant broker: a worker killed abruptly mid-training must be
+// failed over automatically — its experts restored from the latest
+// step-boundary snapshot onto survivors — and the run must complete with
+// the SAME loss trajectory as a failure-free run, because the trainer
+// re-drives the interrupted step on the same batch from the same expert
+// state.
+func TestChaosFailoverMatchesFailureFree(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t, "repro/internal/broker", "repro/internal/transport")
+
+	clean, _, _, cleanErrs := chaosRun(t, false)
+	for n, err := range cleanErrs {
+		if err != nil {
+			t.Fatalf("failure-free worker %d exited with %v", n, err)
+		}
+	}
+
+	chaos, exec, sup, chaosErrs := chaosRun(t, true)
+
+	if len(clean) != len(chaos) {
+		t.Fatalf("step counts differ: %d vs %d", len(clean), len(chaos))
+	}
+	for s := range clean {
+		if !testutil.Close(clean[s], chaos[s]) {
+			t.Errorf("step %d loss diverged after failover: %.12f vs %.12f", s, clean[s], chaos[s])
+		}
+	}
+
+	// The dead worker is out of rotation and hosts nothing in the
+	// assignment; survivors absorbed its experts within capacity.
+	if exec.Alive(2) {
+		t.Fatal("killed worker must be marked dead")
+	}
+	prob := uniformProblem(testConfig(), 3)
+	assign := exec.Assignment()
+	if err := assign.Validate(prob); err != nil {
+		t.Fatalf("post-failover assignment invalid: %v", err)
+	}
+	for l, row := range assign.Worker {
+		for e, n := range row {
+			if n == 2 {
+				t.Fatalf("expert L%d/E%d still assigned to dead worker", l, e)
+			}
+		}
+	}
+
+	rc := exec.Recovery.Snapshot()
+	if rc.WorkerFailovers != 1 {
+		t.Fatalf("WorkerFailovers = %d, want 1", rc.WorkerFailovers)
+	}
+	if rc.ExpertsRecovered != 3 { // round-robin puts expert 2 of each of 3 layers on worker 2
+		t.Fatalf("ExpertsRecovered = %d, want 3", rc.ExpertsRecovered)
+	}
+	if rc.StepRetries < 1 {
+		t.Fatalf("StepRetries = %d, want >= 1", rc.StepRetries)
+	}
+	if rc.Snapshots < 6 {
+		t.Fatalf("Snapshots = %d, want one per step", rc.Snapshots)
+	}
+	if sup.Latest() == nil || sup.Latest().Step != 5 {
+		t.Fatalf("latest snapshot = %+v, want step 5", sup.Latest())
+	}
+
+	// Exactly the killed worker's serve loop errored; survivors shut
+	// down cleanly.
+	for n, err := range chaosErrs {
+		if n == 2 && err == nil {
+			t.Error("killed worker must exit with an error")
+		}
+		if n != 2 && err != nil {
+			t.Errorf("surviving worker %d exited with %v", n, err)
+		}
+	}
+}
+
+// TestSupervisorHeartbeatDetectsWedgedWorker: a worker that still
+// accepts frames but never answers (receive-side partition) is detected
+// by consecutive missed heartbeats and marked dead — heartbeats convert
+// gray failures into fast failures.
+func TestSupervisorHeartbeatDetectsWedgedWorker(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t, "repro/internal/broker", "repro/internal/transport")
+	dep := StartLocalWorkers(1, DefaultWorkerConfig())
+	wedged := transport.NewFaulty(dep.Conns[0], 3, transport.FaultPlan{PartitionRecv: true})
+	cfg := testConfig()
+	exec := NewExecutor([]transport.Conn{wedged}, roundRobinAssignment(cfg, 1))
+	exec.RequestTimeout = 20 * time.Millisecond
+	exec.MaxRecvRetries = -1 // no in-round retries: each probe fails after one deadline
+	exec.Recovery = &metrics.Recovery{}
+	sup := NewSupervisor(exec, uniformProblem(cfg, 1), SupervisorConfig{FailureThreshold: 2})
+
+	sup.Probe()
+	if !exec.Alive(0) {
+		t.Fatal("one missed heartbeat must not kill the worker")
+	}
+	sup.Probe()
+	if exec.Alive(0) {
+		t.Fatal("two consecutive missed heartbeats must mark the worker dead")
+	}
+	rc := exec.Recovery.Snapshot()
+	if rc.HeartbeatsSent != 2 || rc.HeartbeatsMissed != 2 {
+		t.Fatalf("heartbeat counts = %+v", rc)
+	}
+	dep.Close()
+	_ = dep.WaitAll()
+}
+
+// TestSupervisorHeartbeatLoopStopsCleanly: Start/Stop must not leak the
+// heartbeat goroutine, and a healthy worker is never marked dead.
+func TestSupervisorHeartbeatLoopStopsCleanly(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t, "repro/internal/broker", "repro/internal/transport")
+	dep := StartLocalWorkers(1, DefaultWorkerConfig())
+	cfg := testConfig()
+	exec := NewExecutor(dep.Conns, roundRobinAssignment(cfg, 1))
+	exec.RequestTimeout = time.Second
+	exec.Recovery = &metrics.Recovery{}
+	sup := NewSupervisor(exec, uniformProblem(cfg, 1), SupervisorConfig{HeartbeatInterval: 5 * time.Millisecond})
+	sup.Start()
+	time.Sleep(40 * time.Millisecond)
+	sup.Stop()
+	sup.Stop() // idempotent
+	if !exec.Alive(0) {
+		t.Fatal("healthy worker was marked dead by heartbeats")
+	}
+	if rc := exec.Recovery.Snapshot(); rc.HeartbeatsSent == 0 || rc.HeartbeatsMissed != 0 {
+		t.Fatalf("heartbeat counts = %+v", rc)
+	}
+	if err := exec.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverWithoutSnapshotFails: a fatal failure before the first
+// checkpoint cannot be repaired; Recover must say so instead of
+// restoring garbage.
+func TestRecoverWithoutSnapshotFails(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t, "repro/internal/broker", "repro/internal/transport")
+	cfg := testConfig()
+	_, grid := buildFinetuneSetup(cfg, 13)
+	dep := StartLocalWorkers(2, WorkerConfig{Optimizer: OptSGD, LR: 0.1})
+	exec := NewExecutor(dep.Conns, roundRobinAssignment(cfg, 2))
+	exec.Recovery = &metrics.Recovery{}
+	if err := exec.Distribute(grid, ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}); err != nil {
+		t.Fatal(err)
+	}
+	sup := NewSupervisor(exec, uniformProblem(cfg, 2), SupervisorConfig{})
+	//velavet:allow errdispatch -- fault injection: severing the conn IS the failure under test
+	_ = dep.Conns[1].Close()
+	err := sup.Recover(0, errors.New("step failed"))
+	if err == nil || exec.Alive(1) {
+		t.Fatalf("recover = %v, alive(1) = %v; want snapshot error and dead worker", err, exec.Alive(1))
+	}
+	dep.Close()
+	_ = dep.WaitAll()
+}
+
+// TestStepOrdinalDeduplication: a worker that already applied a step
+// ordinal acks its re-broadcast without stepping twice, while ordinal 0
+// (legacy "always apply") still steps every time.
+func TestStepOrdinalDeduplication(t *testing.T) {
+	cfg := moe.Config{Vocab: 10, D: 4, Heads: 1, Hidden: 6, Layers: 1, Experts: 1, TopK: 1}
+	_, grid := buildFinetuneSetup(cfg, 17)
+	w := NewWorker(0, WorkerConfig{Optimizer: OptSGD, LR: 0.1})
+	if reply, _ := w.handle(encodeExpert(grid[0][0], ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4})); reply.Type != wire.MsgAck {
+		t.Fatalf("assign: %v", reply.Type)
+	}
+	// Plant a nonzero gradient so a step visibly moves the weights.
+	seedGrads := func() {
+		for _, p := range w.params() {
+			if p.Trainable {
+				for i := range p.Grad.Data {
+					p.Grad.Data[i] = 0.5
+				}
+			}
+		}
+	}
+	checksum := func() float64 { return checksumParams(w.params())[0] }
+
+	seedGrads()
+	before := checksum()
+	if reply, _ := w.handle(&wire.Message{Type: wire.MsgStep, Layer: 1}); reply.Type != wire.MsgAck {
+		t.Fatalf("step 1: %v", reply.Type)
+	}
+	after1 := checksum()
+	if testutil.Close(before, after1) {
+		t.Fatal("ordinal-1 step must move the weights")
+	}
+	seedGrads()
+	if reply, _ := w.handle(&wire.Message{Type: wire.MsgStep, Layer: 1}); reply.Type != wire.MsgAck {
+		t.Fatalf("replayed step 1: %v", reply.Type)
+	}
+	if got := checksum(); !testutil.Close(after1, got) {
+		t.Fatalf("replayed ordinal must not re-step: %.12f vs %.12f", after1, got)
+	}
+	seedGrads()
+	if reply, _ := w.handle(&wire.Message{Type: wire.MsgStep, Layer: 2}); reply.Type != wire.MsgAck {
+		t.Fatalf("step 2: %v", reply.Type)
+	}
+	if got := checksum(); testutil.Close(after1, got) {
+		t.Fatal("next ordinal must step")
+	}
+	seedGrads()
+	mid := checksum()
+	if reply, _ := w.handle(&wire.Message{Type: wire.MsgStep}); reply.Type != wire.MsgAck {
+		t.Fatalf("ordinal-0 step: %v", reply.Type)
+	}
+	if got := checksum(); testutil.Close(mid, got) {
+		t.Fatal("ordinal 0 must always apply")
+	}
+}

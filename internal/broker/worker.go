@@ -62,6 +62,10 @@ type Worker struct {
 	specs   map[moe.ExpertID]ExpertSpec
 	locks   map[moe.ExpertID]*sync.Mutex
 	opt     nn.Optimizer
+	// lastStep is the highest step ordinal applied (MsgStep.Layer > 0):
+	// a post-failover re-broadcast of an ordinal this worker already
+	// stepped is acked without stepping twice.
+	lastStep int
 }
 
 // NewWorker creates an Expert Manager with no experts assigned yet.
@@ -271,7 +275,14 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 		return &wire.Message{Type: wire.MsgAck, Seq: msg.Seq}, false
 
 	case wire.MsgStep:
+		ord := int(msg.Layer)
 		w.mu.Lock()
+		if ord > 0 && ord <= w.lastStep {
+			// Re-broadcast of an ordinal this worker already applied (the
+			// master is retrying a step after a failover): ack idempotently.
+			w.mu.Unlock()
+			return &wire.Message{Type: wire.MsgAck, Seq: msg.Seq}, false
+		}
 		if w.opt == nil {
 			opt, err := w.buildOptimizer()
 			if err != nil {
@@ -281,8 +292,33 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 			w.opt = opt
 		}
 		w.opt.Step()
+		if ord > 0 {
+			w.lastStep = ord
+		}
 		w.mu.Unlock()
 		return &wire.Message{Type: wire.MsgAck, Seq: msg.Seq}, false
+
+	case wire.MsgPing:
+		return &wire.Message{Type: wire.MsgPong, Seq: msg.Seq}, false
+
+	case wire.MsgSnapshot:
+		id := moe.ExpertID{Layer: int(msg.Layer), Expert: int(msg.Expert)}
+		w.mu.RLock()
+		ex, ok := w.experts[id]
+		spec := w.specs[id]
+		var out *wire.Message
+		if ok {
+			// Deep copy under the read barrier: Step takes mu for writing,
+			// so the copied tensors are a consistent step boundary.
+			out = encodeExpertCopy(ex, spec)
+		}
+		w.mu.RUnlock()
+		if !ok {
+			return errMsg(msg, fmt.Errorf("broker: worker %d does not host %v", w.ID, id)), false
+		}
+		out.Type = wire.MsgSnapshotResult
+		out.Seq = msg.Seq
+		return out, false
 
 	case wire.MsgStats:
 		w.mu.Lock()
@@ -302,7 +338,13 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 // runExpert looks up the target expert and applies fn while holding the
 // worker's read barrier and the expert's own lock: compute on distinct
 // experts overlaps, compute on one expert serializes.
-func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix, error)) (*wire.Matrix, error) {
+//
+// A panic out of the expert compute (an nn shape/state precondition — a
+// chaos transport can deliver a duplicated Backward whose second
+// execution finds its activations already consumed) is converted into an
+// error reply: one poisoned request must cost one MsgError, not the
+// whole worker process.
+func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix, error)) (out *wire.Matrix, err error) {
 	if len(msg.Tensors) != 1 {
 		return nil, fmt.Errorf("broker: %v message carries %d tensors, want 1", msg.Type, len(msg.Tensors))
 	}
@@ -324,6 +366,11 @@ func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix
 	lk := w.locks[id]
 	lk.Lock()
 	defer lk.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("broker: worker %d: %v on %v panicked: %v", w.ID, msg.Type, id, r)
+		}
+	}()
 	return fn(e)
 }
 

@@ -1,0 +1,154 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func sampleSnapshot() *ExpertSnapshot {
+	return &ExpertSnapshot{
+		Step: 41,
+		Entries: []ExpertEntry{
+			{Layer: 0, Expert: 2, Tensors: []StateTensor{
+				{Rows: 1, Cols: 4, Data: []float64{0, 1.5, -2.25, 3}},
+				{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}},
+			}},
+			{Layer: 1, Expert: 0, Tensors: []StateTensor{
+				{Rows: 1, Cols: 1, Data: []float64{-0.125}},
+			}},
+			// An expert with no tensors must survive the trip too.
+			{Layer: 1, Expert: 1},
+		},
+	}
+}
+
+func assertSnapshotEqual(t *testing.T, want, got *ExpertSnapshot) {
+	t.Helper()
+	if got.Step != want.Step {
+		t.Fatalf("step = %d, want %d", got.Step, want.Step)
+	}
+	if len(got.Entries) != len(want.Entries) {
+		t.Fatalf("%d entries, want %d", len(got.Entries), len(want.Entries))
+	}
+	for i, w := range want.Entries {
+		g := got.Entries[i]
+		if g.Layer != w.Layer || g.Expert != w.Expert || len(g.Tensors) != len(w.Tensors) {
+			t.Fatalf("entry %d = L%d/E%d (%d tensors), want L%d/E%d (%d)",
+				i, g.Layer, g.Expert, len(g.Tensors), w.Layer, w.Expert, len(w.Tensors))
+		}
+		for ti, wt := range w.Tensors {
+			gt := g.Tensors[ti]
+			if gt.Rows != wt.Rows || gt.Cols != wt.Cols {
+				t.Fatalf("entry %d tensor %d shape %dx%d, want %dx%d", i, ti, gt.Rows, gt.Cols, wt.Rows, wt.Cols)
+			}
+			if !testutil.BitEqualSlices(wt.Data, gt.Data) {
+				t.Fatalf("entry %d tensor %d payload differs", i, ti)
+			}
+		}
+	}
+}
+
+func TestExpertSnapshotRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := SaveExpertSnapshot(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadExpertSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotEqual(t, want, got)
+}
+
+func TestExpertSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "experts.vexs")
+	want := sampleSnapshot()
+	if err := SaveExpertSnapshotFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	// The atomic-rename discipline must not leave the temp file behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	got, err := LoadExpertSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotEqual(t, want, got)
+}
+
+func TestExpertSnapshotFind(t *testing.T) {
+	s := sampleSnapshot()
+	if e := s.Find(1, 0); e == nil || len(e.Tensors) != 1 {
+		t.Fatalf("Find(1,0) = %+v", e)
+	}
+	if e := s.Find(3, 3); e != nil {
+		t.Fatalf("Find on absent expert = %+v, want nil", e)
+	}
+}
+
+func TestExpertSnapshotRejectsBadMagic(t *testing.T) {
+	if _, err := LoadExpertSnapshot(strings.NewReader("NOTVELA1\x00\x00\x00\x00")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}
+
+// TestExpertSnapshotRejectsCorruptCounts: implausible entry/tensor
+// counts and shapes in the header must be rejected up front instead of
+// driving a huge allocation the stream can never satisfy.
+func TestExpertSnapshotRejectsCorruptCounts(t *testing.T) {
+	frame := func(build func(w *bytes.Buffer)) *bytes.Buffer {
+		var b bytes.Buffer
+		b.WriteString("VELAEXS1")
+		build(&b)
+		return &b
+	}
+	i32 := func(b *bytes.Buffer, vs ...int32) {
+		for _, v := range vs {
+			//velavet:allow errdispatch -- bytes.Buffer writes cannot fail
+			_ = binary.Write(b, binary.LittleEndian, v)
+		}
+	}
+	cases := map[string]*bytes.Buffer{
+		"negative entry count": frame(func(b *bytes.Buffer) { i32(b, 1, -1) }),
+		"huge entry count":     frame(func(b *bytes.Buffer) { i32(b, 1, 1<<30) }),
+		"huge tensor count":    frame(func(b *bytes.Buffer) { i32(b, 1, 1, 0, 0, 1<<30) }),
+		"negative shape":       frame(func(b *bytes.Buffer) { i32(b, 1, 1, 0, 0, 1, -4, 4) }),
+		"huge shape":           frame(func(b *bytes.Buffer) { i32(b, 1, 1, 0, 0, 1, 1<<28, 1<<28) }),
+	}
+	for name, buf := range cases {
+		if _, err := LoadExpertSnapshot(buf); err == nil {
+			t.Errorf("%s: load must fail", name)
+		}
+	}
+}
+
+// TestExpertSnapshotSaveRejectsShapeMismatch: a tensor whose declared
+// shape disagrees with its payload length must fail at save time, not
+// produce a torn file.
+func TestExpertSnapshotSaveRejectsShapeMismatch(t *testing.T) {
+	bad := &ExpertSnapshot{Entries: []ExpertEntry{{
+		Tensors: []StateTensor{{Rows: 2, Cols: 2, Data: []float64{1}}},
+	}}}
+	if err := SaveExpertSnapshot(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("shape/payload mismatch must fail")
+	}
+	// And the file variant must clean up after the failure.
+	path := filepath.Join(t.TempDir(), "bad.vexs")
+	if err := SaveExpertSnapshotFile(path, bad); err == nil {
+		t.Fatal("shape/payload mismatch must fail")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after failed save: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target written despite failed save: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+package broker
+
+import "fmt"
+
+// Recovery-path shapes: a panic inside failover code is the worst
+// possible failure mode — the mechanism that exists to absorb a crash
+// becomes the crash.
+
+// failoverPanicsOnMissingSnapshot takes the master down when recovery
+// preconditions fail, instead of surfacing an error the trainer can
+// report. Losing a worker before the first checkpoint is an expected
+// runtime condition, not a programming error.
+func failoverPanicsOnMissingSnapshot(snapshot *Msg, dead []int) {
+	if snapshot == nil {
+		panic(fmt.Sprintf("no snapshot to restore %d workers from", len(dead))) // want "panic in runtime package"
+	}
+}
+
+// failoverReturnsError is the clean shape: the precondition failure
+// propagates as a value.
+func failoverReturnsError(snapshot *Msg, dead []int) error {
+	if snapshot == nil {
+		return fmt.Errorf("no snapshot to restore %d workers from", len(dead))
+	}
+	return nil
+}
+
+// runExpertRecovers is the sanctioned use of recover in a runtime
+// package: a compute panic on a worker is converted into an error reply
+// instead of killing the serve loop. recover is always permitted; only
+// originating panics are policed.
+func runExpertRecovers(work func() *Msg) (out *Msg, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("expert compute panicked: %v", r)
+		}
+	}()
+	return work(), nil
+}

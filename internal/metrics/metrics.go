@@ -102,6 +102,97 @@ func (t *Traffic) CrossNodeBytes() int64 {
 	return s
 }
 
+// RecoveryCounts is a point-in-time copy of the fault-tolerance
+// counters: how often the runtime timed out, retried, heartbeated, and
+// failed over. The chaos tests assert on these to prove a recovery path
+// actually executed rather than being silently skipped.
+type RecoveryCounts struct {
+	// HeartbeatsSent / HeartbeatsMissed count supervisor ping rounds
+	// per outcome.
+	HeartbeatsSent   int64
+	HeartbeatsMissed int64
+	// RecvTimeouts counts reply deadlines that expired; RecvRetries
+	// counts the bounded in-round waits that followed one.
+	RecvTimeouts int64
+	RecvRetries  int64
+	// StaleReplies / DuplicateReplies count correlation anomalies the
+	// pipelined reader absorbed instead of failing the round.
+	StaleReplies     int64
+	DuplicateReplies int64
+	// StepRetries counts training steps re-driven after a recovery.
+	StepRetries int64
+	// WorkerFailovers counts workers declared dead; ExpertsRecovered
+	// counts experts restored onto survivors from a snapshot.
+	WorkerFailovers  int64
+	ExpertsRecovered int64
+	// Snapshots counts completed expert-state checkpoint pulls.
+	Snapshots int64
+}
+
+// Recovery is the thread-safe accumulator behind RecoveryCounts. All
+// methods are nil-receiver-safe so runtime code can record events
+// unconditionally; a nil Recovery simply discards them.
+type Recovery struct {
+	mu sync.Mutex
+	c  RecoveryCounts
+}
+
+func (r *Recovery) add(f func(*RecoveryCounts)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	f(&r.c)
+	r.mu.Unlock()
+}
+
+// AddHeartbeat records one heartbeat probe and whether it was answered.
+func (r *Recovery) AddHeartbeat(answered bool) {
+	r.add(func(c *RecoveryCounts) {
+		c.HeartbeatsSent++
+		if !answered {
+			c.HeartbeatsMissed++
+		}
+	})
+}
+
+// AddRecvTimeout records one expired reply deadline.
+func (r *Recovery) AddRecvTimeout() { r.add(func(c *RecoveryCounts) { c.RecvTimeouts++ }) }
+
+// AddRecvRetry records one bounded in-round retry after a timeout.
+func (r *Recovery) AddRecvRetry() { r.add(func(c *RecoveryCounts) { c.RecvRetries++ }) }
+
+// AddStaleReply records a reply from an abandoned round being discarded.
+func (r *Recovery) AddStaleReply() { r.add(func(c *RecoveryCounts) { c.StaleReplies++ }) }
+
+// AddDuplicateReply records a duplicate-Seq reply being discarded.
+func (r *Recovery) AddDuplicateReply() { r.add(func(c *RecoveryCounts) { c.DuplicateReplies++ }) }
+
+// AddStepRetry records a training step re-driven after recovery.
+func (r *Recovery) AddStepRetry() { r.add(func(c *RecoveryCounts) { c.StepRetries++ }) }
+
+// AddFailover records one worker declared dead and the number of its
+// experts restored onto survivors.
+func (r *Recovery) AddFailover(expertsRecovered int) {
+	r.add(func(c *RecoveryCounts) {
+		c.WorkerFailovers++
+		c.ExpertsRecovered += int64(expertsRecovered)
+	})
+}
+
+// AddSnapshot records one completed expert-state checkpoint pull.
+func (r *Recovery) AddSnapshot() { r.add(func(c *RecoveryCounts) { c.Snapshots++ }) }
+
+// Snapshot returns a copy of the counters. A nil Recovery yields zeros.
+func (r *Recovery) Snapshot() RecoveryCounts {
+	if r == nil {
+		return RecoveryCounts{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c
+}
+
 // Series is a named sequence of per-step measurements.
 type Series struct {
 	Name   string

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecoveryCounters(t *testing.T) {
+	r := &Recovery{}
+	r.AddHeartbeat(true)
+	r.AddHeartbeat(false)
+	r.AddRecvTimeout()
+	r.AddRecvRetry()
+	r.AddStaleReply()
+	r.AddDuplicateReply()
+	r.AddDuplicateReply()
+	r.AddStepRetry()
+	r.AddFailover(3)
+	r.AddSnapshot()
+
+	got := r.Snapshot()
+	want := RecoveryCounts{
+		HeartbeatsSent: 2, HeartbeatsMissed: 1,
+		RecvTimeouts: 1, RecvRetries: 1,
+		StaleReplies: 1, DuplicateReplies: 2,
+		StepRetries:     1,
+		WorkerFailovers: 1, ExpertsRecovered: 3,
+		Snapshots: 1,
+	}
+	if got != want {
+		t.Fatalf("counts = %+v, want %+v", got, want)
+	}
+	// Snapshot is a copy: later events must not retro-mutate it.
+	r.AddSnapshot()
+	if got.Snapshots != 1 {
+		t.Fatal("Snapshot must return a detached copy")
+	}
+}
+
+// TestRecoveryNilReceiver: every recording method is a silent no-op on a
+// nil meter, so runtime code records unconditionally.
+func TestRecoveryNilReceiver(t *testing.T) {
+	var r *Recovery
+	r.AddHeartbeat(false)
+	r.AddRecvTimeout()
+	r.AddRecvRetry()
+	r.AddStaleReply()
+	r.AddDuplicateReply()
+	r.AddStepRetry()
+	r.AddFailover(5)
+	r.AddSnapshot()
+	if got := r.Snapshot(); got != (RecoveryCounts{}) {
+		t.Fatalf("nil meter must read as zero, got %+v", got)
+	}
+}
+
+// TestRecoveryConcurrentAdds: the accumulator is written from the
+// pipelined readers, the heartbeat loop, and the trainer concurrently;
+// counts must not be lost (run under -race).
+func TestRecoveryConcurrentAdds(t *testing.T) {
+	r := &Recovery{}
+	const workers, per = 8, 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.AddRecvTimeout()
+				r.AddHeartbeat(i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	got := r.Snapshot()
+	if got.RecvTimeouts != workers*per || got.HeartbeatsSent != workers*per || got.HeartbeatsMissed != workers*per/2 {
+		t.Fatalf("lost updates: %+v", got)
+	}
+}

@@ -1,0 +1,183 @@
+package placement
+
+// Tests for the failover re-solve: Repair must keep every live-hosted
+// expert in place, reassign only the orphans, respect capacity, and
+// refuse to overload survivors when the cluster has lost too much.
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallProblem builds a hand-sized instance where every worker has the
+// given capacity and bandwidth 1, and P is uniform.
+func smallProblem(t *testing.T, workers, layers, experts, capacity int) *Problem {
+	t.Helper()
+	P := make([][]float64, layers)
+	for l := range P {
+		P[l] = make([]float64, experts)
+		for e := range P[l] {
+			P[l][e] = 1.0 / float64(experts)
+		}
+	}
+	bw := make([]float64, workers)
+	caps := make([]int, workers)
+	nodes := make([]int, workers)
+	for n := range bw {
+		bw[n], caps[n] = 1, capacity
+	}
+	p := &Problem{
+		Workers: workers, Layers: layers, Experts: experts,
+		P: P, Bandwidth: bw, Capacity: caps,
+		RoutingsPerStep: 1024, BytesPerToken: 1024,
+		WorkerNode: nodes,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRepairKeepsLiveExpertsInPlace(t *testing.T) {
+	p := smallProblem(t, 3, 2, 3, 6)
+	cur := NewAssignment(p.Layers, p.Experts)
+	for l := range cur.Worker {
+		for e := range cur.Worker[l] {
+			cur.Worker[l][e] = e % p.Workers
+		}
+	}
+	dead := []bool{false, false, true}
+
+	next, err := Repair(p, cur, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for l := range cur.Worker {
+		for e, n := range cur.Worker[l] {
+			switch {
+			case !dead[n] && next.Worker[l][e] != n:
+				t.Fatalf("live expert L%d/E%d moved %d -> %d", l, e, n, next.Worker[l][e])
+			case dead[n]:
+				if nn := next.Worker[l][e]; dead[nn] {
+					t.Fatalf("orphan L%d/E%d reassigned to dead worker %d", l, e, nn)
+				}
+				moved++
+			}
+		}
+	}
+	if moved != p.Layers {
+		t.Fatalf("expected %d orphans reassigned, got %d", p.Layers, moved)
+	}
+	// The input must not have been mutated.
+	for l := range cur.Worker {
+		for e := range cur.Worker[l] {
+			if cur.Worker[l][e] != e%p.Workers {
+				t.Fatal("Repair mutated its input assignment")
+			}
+		}
+	}
+}
+
+// TestRepairBalancesOrphans: with uniform popularity and bandwidth the
+// bottleneck objective degenerates to load balancing, so the orphans of
+// a dead worker must spread across survivors rather than pile up.
+func TestRepairBalancesOrphans(t *testing.T) {
+	p := smallProblem(t, 4, 1, 8, 8)
+	cur := NewAssignment(p.Layers, p.Experts)
+	for e := 0; e < p.Experts; e++ {
+		cur.Worker[0][e] = e % p.Workers
+	}
+	next, err := Repair(p, cur, []bool{false, false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := next.Loads(p.Workers)
+	if loads[3] != 0 {
+		t.Fatalf("dead worker still hosts %d experts", loads[3])
+	}
+	// 8 experts over 3 survivors: no survivor may carry more than 3.
+	for n := 0; n < 3; n++ {
+		if loads[n] > 3 {
+			t.Fatalf("orphans piled onto worker %d: load %d, want <= 3", n, loads[n])
+		}
+	}
+}
+
+// TestRepairPrefersFastSurvivors: a popular orphan should land on the
+// survivor where it costs the least bottleneck time — the high-bandwidth
+// one, all else equal.
+func TestRepairPrefersFastSurvivors(t *testing.T) {
+	p := smallProblem(t, 3, 1, 3, 3)
+	p.Bandwidth = []float64{1, 10, 1}
+	cur := NewAssignment(1, 3)
+	// Everything on worker 2, which then dies; workers 0 and 1 are empty.
+	cur.Worker[0] = []int{2, 2, 2}
+	next, err := Repair(p, cur, []bool{false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := next.Loads(p.Workers)
+	// Worker 1 is 10x faster: the greedy bottleneck objective sends it
+	// the bulk of the orphans before worker 0 becomes competitive.
+	if loads[1] <= loads[0] {
+		t.Fatalf("fast survivor underused: loads %v", loads)
+	}
+}
+
+func TestRepairInsufficientCapacityFails(t *testing.T) {
+	p := smallProblem(t, 2, 2, 4, 4)
+	cur := NewAssignment(p.Layers, p.Experts)
+	for l := range cur.Worker {
+		for e := range cur.Worker[l] {
+			cur.Worker[l][e] = e % 2
+		}
+	}
+	// Killing worker 1 leaves capacity 4 for 8 experts.
+	if _, err := Repair(p, cur, []bool{false, true}); err == nil {
+		t.Fatal("repair must fail when survivors cannot host the grid")
+	} else if !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("want a capacity error, got %v", err)
+	}
+}
+
+func TestRepairRejectsMalformedInput(t *testing.T) {
+	p := smallProblem(t, 2, 1, 2, 2)
+	good := NewAssignment(1, 2)
+
+	if _, err := Repair(p, good, []bool{false}); err == nil {
+		t.Fatal("wrong liveness length must fail")
+	}
+	if _, err := Repair(p, NewAssignment(2, 2), []bool{false, false}); err == nil {
+		t.Fatal("wrong layer count must fail")
+	}
+	bad := NewAssignment(1, 2)
+	bad.Worker[0][0] = 7
+	if _, err := Repair(p, bad, []bool{false, false}); err == nil {
+		t.Fatal("out-of-range worker index must fail")
+	}
+}
+
+// TestRepairNoDeadIsIdentity: with nobody dead, Repair returns the same
+// layout (as a fresh value).
+func TestRepairNoDeadIsIdentity(t *testing.T) {
+	p := testProblem(t, 2, 6, 2, 11)
+	cur, err := Sequential{}.Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := Repair(p, cur, make([]bool, p.Workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range cur.Worker {
+		for e := range cur.Worker[l] {
+			if next.Worker[l][e] != cur.Worker[l][e] {
+				t.Fatalf("identity repair moved L%d/E%d", l, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package trainer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/moe"
+	"repro/internal/testutil"
+)
+
+var errBoom = errors.New("synthetic expert failure")
+
+// countingBatcher counts Next calls so tests can prove a retried step
+// re-uses its batch instead of silently consuming the next one.
+type countingBatcher struct {
+	inner BatchSource
+	calls int
+}
+
+func (c *countingBatcher) Next() ([]int, []int) { c.calls++; return c.inner.Next() }
+func (c *countingBatcher) Shape() (int, int)    { return c.inner.Shape() }
+
+// recoverFinetuner builds a deterministic local finetuner for the
+// recovery tests.
+func recoverFinetuner(t *testing.T) *Finetuner {
+	t.Helper()
+	m, grid, err := BuildPretrained(tinyCfg(), 4000, fastPretrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrepareForFinetune(m, grid, LoRAConfig{Rank: 2, Alpha: 4, Seed: 5})
+	exec := m.Layers[0].MoE.Exec.(*moe.LocalExecutor)
+	return NewLocalFinetuner(m, exec, data.NewBatcher(data.Shakespeare(4000), 2, 24, 9))
+}
+
+// TestRunRecoversOnSameBatch: a transient failure mid-run is handed to
+// Recover, the step is re-driven on the SAME batch, and the resulting
+// loss trajectory is identical to a failure-free run — the trainer-side
+// half of the failover guarantee.
+func TestRunRecoversOnSameBatch(t *testing.T) {
+	clean := recoverFinetuner(t)
+	if err := clean.Run(5, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := recoverFinetuner(t)
+	cb := &countingBatcher{inner: faulty.Batcher}
+	faulty.Batcher = cb
+	realStep := faulty.ExpertStep
+	fail := true
+	faulty.ExpertStep = func() error {
+		if fail && faulty.Losses.Len() == 2 { // first attempt of step 2
+			fail = false
+			return errBoom
+		}
+		return realStep()
+	}
+	recovered := 0
+	faulty.Recover = func(step int, err error) error {
+		if step != 2 || !errors.Is(err, errBoom) {
+			t.Fatalf("Recover(step=%d, err=%v)", step, err)
+		}
+		recovered++
+		return nil
+	}
+	if err := faulty.Run(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 1 {
+		t.Fatalf("Recover called %d times, want 1", recovered)
+	}
+	if cb.calls != 5 {
+		t.Fatalf("batcher consulted %d times for 5 logical steps — retry must reuse its batch", cb.calls)
+	}
+	if clean.Losses.Len() != faulty.Losses.Len() {
+		t.Fatalf("loss counts differ: %d vs %d", clean.Losses.Len(), faulty.Losses.Len())
+	}
+	for i := range clean.Losses.Values {
+		if !testutil.Close(clean.Losses.Values[i], faulty.Losses.Values[i]) {
+			t.Fatalf("step %d loss diverged after recovery: %v vs %v",
+				i, clean.Losses.Values[i], faulty.Losses.Values[i])
+		}
+	}
+}
+
+// TestRunWithoutRecoverFailsFast: with no Recover hook the first failure
+// aborts the run.
+func TestRunWithoutRecoverFailsFast(t *testing.T) {
+	ft := recoverFinetuner(t)
+	ft.ExpertStep = func() error { return errBoom }
+	err := ft.Run(3, nil)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+	if ft.Losses.Len() != 0 {
+		t.Fatal("no loss may be recorded for a failed step")
+	}
+}
+
+// TestRunExhaustsStepRetries: a fault that recovery cannot clear aborts
+// after MaxStepRetries re-drives, not an unbounded loop.
+func TestRunExhaustsStepRetries(t *testing.T) {
+	ft := recoverFinetuner(t)
+	attempts := 0
+	ft.ExpertStep = func() error { attempts++; return errBoom }
+	ft.Recover = func(step int, err error) error { return nil }
+	ft.MaxStepRetries = 3
+	err := ft.Run(2, nil)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+	// Initial attempt + MaxStepRetries re-drives.
+	if attempts != 4 {
+		t.Fatalf("step driven %d times, want 4", attempts)
+	}
+}
+
+// TestRunAbortsWhenRecoverFails: a recovery error surfaces both causes
+// and stops the run immediately.
+func TestRunAbortsWhenRecoverFails(t *testing.T) {
+	ft := recoverFinetuner(t)
+	ft.ExpertStep = func() error { return errBoom }
+	errDead := errors.New("no snapshot")
+	ft.Recover = func(step int, err error) error { return errDead }
+	err := ft.Run(2, nil)
+	if !errors.Is(err, errDead) {
+		t.Fatalf("err = %v, want the recovery failure", err)
+	}
+	if !strings.Contains(err.Error(), errBoom.Error()) {
+		t.Fatalf("recovery failure must cite the step failure, got %v", err)
+	}
+}
+
+// TestOnStepErrorAborts: the checkpoint hook's error stops the run after
+// the step that triggered it.
+func TestOnStepErrorAborts(t *testing.T) {
+	ft := recoverFinetuner(t)
+	errHook := errors.New("snapshot failed")
+	ft.OnStep = func(step int) error {
+		if step == 1 {
+			return errHook
+		}
+		return nil
+	}
+	err := ft.Run(4, nil)
+	if !errors.Is(err, errHook) {
+		t.Fatalf("err = %v, want hook error", err)
+	}
+	if ft.Losses.Len() != 2 {
+		t.Fatalf("recorded %d losses, want 2 (steps 0 and 1 succeeded)", ft.Losses.Len())
+	}
+}

@@ -174,8 +174,33 @@ type Finetuner struct {
 	// ExpertStep applies the expert optimizer wherever the experts live.
 	ExpertStep func() error
 
+	// Recover, when non-nil, is consulted after a step fails: returning
+	// nil means the failure was handled (e.g. the broker failed over the
+	// dead worker) and the same step should be re-driven on the same
+	// batch; returning an error aborts the run. Distributed deployments
+	// wire broker.Supervisor.Recover here.
+	Recover func(step int, err error) error
+	// MaxStepRetries bounds how many times one step is re-driven through
+	// Recover before the run aborts. <= 0 selects DefaultMaxStepRetries.
+	MaxStepRetries int
+	// OnStep, when non-nil, runs after each successful step — the
+	// checkpoint hook a supervisor uses to snapshot expert state at step
+	// boundaries. Its error aborts the run.
+	OnStep func(step int) error
+
 	// Losses accumulates the per-step loss.
 	Losses metrics.Series
+}
+
+// DefaultMaxStepRetries is the per-step recovery bound used when
+// Finetuner.MaxStepRetries is unset.
+const DefaultMaxStepRetries = 2
+
+func (f *Finetuner) maxStepRetries() int {
+	if f.MaxStepRetries > 0 {
+		return f.MaxStepRetries
+	}
+	return DefaultMaxStepRetries
 }
 
 // NewLocalFinetuner wires a fine-tuner whose experts run in-process.
@@ -203,6 +228,21 @@ func NewLocalFinetuner(m *moe.Model, exec *moe.LocalExecutor, b *data.Batcher) *
 // Step runs one fine-tuning step and returns its loss.
 func (f *Finetuner) Step() (float64, error) {
 	ids, targets := f.Batcher.Next()
+	loss, err := f.step(ids, targets)
+	if err != nil {
+		return 0, err
+	}
+	f.Losses.Append(loss)
+	return loss, nil
+}
+
+// step drives one full step on a fixed batch. It is the retryable unit
+// of the recovery loop: every phase before the optimizer applications is
+// idempotent (gradients are zeroed first), and the optimizer ordering —
+// experts before backbone — means a failure anywhere leaves the backbone
+// unstepped, so a retried step cannot apply the backbone update twice.
+// (Remote expert steps are deduplicated by the broker's step ordinal.)
+func (f *Finetuner) step(ids, targets []int) (float64, error) {
 	nn.ZeroGrads(f.Backbone)
 	if err := f.ExpertZero(); err != nil {
 		return 0, fmt.Errorf("trainer: expert zero-grad: %w", err)
@@ -216,24 +256,43 @@ func (f *Finetuner) Step() (float64, error) {
 	if err := f.Model.Backward(dl); err != nil {
 		return 0, fmt.Errorf("trainer: backward: %w", err)
 	}
-	f.Opt.Step()
 	if err := f.ExpertStep(); err != nil {
 		return 0, fmt.Errorf("trainer: expert step: %w", err)
 	}
-	f.Losses.Append(loss)
+	f.Opt.Step()
 	return loss, nil
 }
 
 // Run executes the given number of steps, invoking hook (if non-nil)
-// after each.
+// after each. When Recover is set, a failed step is handed to it and —
+// if recovery succeeds — re-driven on the same batch, up to
+// MaxStepRetries times; the trainer thus sees a worker failover as at
+// most a retried step.
 func (f *Finetuner) Run(steps int, hook Hook) error {
 	for s := 0; s < steps; s++ {
-		loss, err := f.Step()
-		if err != nil {
-			return fmt.Errorf("trainer: step %d: %w", s, err)
+		ids, targets := f.Batcher.Next()
+		var loss float64
+		var err error
+		for attempt := 0; ; attempt++ {
+			loss, err = f.step(ids, targets)
+			if err == nil {
+				break
+			}
+			if f.Recover == nil || attempt >= f.maxStepRetries() {
+				return fmt.Errorf("trainer: step %d: %w", s, err)
+			}
+			if rerr := f.Recover(s, err); rerr != nil {
+				return fmt.Errorf("trainer: step %d: recovering from (%v): %w", s, err, rerr)
+			}
 		}
+		f.Losses.Append(loss)
 		if hook != nil {
 			hook(s, loss)
+		}
+		if f.OnStep != nil {
+			if err := f.OnStep(s); err != nil {
+				return fmt.Errorf("trainer: step %d checkpoint hook: %w", s, err)
+			}
 		}
 	}
 	return nil

@@ -3,13 +3,25 @@
 // wire codec: an in-process channel transport (tests, single-process
 // deployments, the simulator's functional mode) and a TCP transport for
 // genuinely distributed runs.
+//
+// Failure model: every operation on a severed connection reports an
+// error satisfying errors.Is(err, ErrClosed); an operation that exceeds
+// its deadline reports one satisfying errors.Is(err, ErrTimeout). A
+// timed-out Recv is resumable — the connection stays usable and a later
+// Recv picks up exactly where the frame read left off — which is what
+// lets the broker's per-request deadlines retry a slow reply without
+// poisoning the stream. A timed-out Send is not resumable (the frame may
+// be partially written) and the connection should be abandoned.
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -28,6 +40,42 @@ type Conn interface {
 // ErrClosed is returned for operations on a closed connection.
 var ErrClosed = errors.New("transport: connection closed")
 
+// ErrTimeout is returned when a Send or Recv exceeds its deadline.
+var ErrTimeout = errors.New("transport: operation timed out")
+
+// Deadliner is the optional deadline surface of a Conn. Both built-in
+// transports (and the Faulty wrapper) implement it; callers reach it
+// through SetRecvDeadline/SetSendDeadline so a deadline-less Conn
+// degrades to blocking behaviour instead of failing.
+type Deadliner interface {
+	// SetRecvDeadline bounds subsequent Recv calls; the zero time
+	// clears the deadline.
+	SetRecvDeadline(t time.Time) error
+	// SetSendDeadline bounds subsequent Send calls; the zero time
+	// clears the deadline.
+	SetSendDeadline(t time.Time) error
+}
+
+// SetRecvDeadline applies a receive deadline if c supports deadlines,
+// reporting whether it did.
+func SetRecvDeadline(c Conn, t time.Time) bool {
+	d, ok := c.(Deadliner)
+	if !ok {
+		return false
+	}
+	return d.SetRecvDeadline(t) == nil
+}
+
+// SetSendDeadline applies a send deadline if c supports deadlines,
+// reporting whether it did.
+func SetSendDeadline(c Conn, t time.Time) bool {
+	d, ok := c.(Deadliner)
+	if !ok {
+		return false
+	}
+	return d.SetSendDeadline(t) == nil
+}
+
 // pipeState is the shared close signal of an in-process pipe: closing
 // either end severs the pipe, like a socket.
 type pipeState struct {
@@ -42,6 +90,10 @@ type chanConn struct {
 	out   chan<- *wire.Message
 	in    <-chan *wire.Message
 	state *pipeState
+
+	mu           sync.Mutex
+	recvDeadline time.Time
+	sendDeadline time.Time
 }
 
 // Pipe returns two connected in-process endpoints. Messages sent on one
@@ -56,6 +108,37 @@ func Pipe() (Conn, Conn) {
 	return a, b
 }
 
+// SetRecvDeadline implements Deadliner.
+func (c *chanConn) SetRecvDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.recvDeadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetSendDeadline implements Deadliner.
+func (c *chanConn) SetSendDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.sendDeadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// timeoutChan converts a deadline into a timer channel; a zero deadline
+// yields a nil channel (blocks forever in a select). The returned stop
+// must be called to release the timer.
+func timeoutChan(deadline time.Time) (<-chan time.Time, func(), error) {
+	if deadline.IsZero() {
+		return nil, func() {}, nil
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return nil, func() {}, ErrTimeout
+	}
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }, nil
+}
+
 // Send implements Conn.
 func (c *chanConn) Send(m *wire.Message) error {
 	select {
@@ -63,9 +146,19 @@ func (c *chanConn) Send(m *wire.Message) error {
 		return ErrClosed
 	default:
 	}
+	c.mu.Lock()
+	deadline := c.sendDeadline
+	c.mu.Unlock()
+	timeout, stop, err := timeoutChan(deadline)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	select {
 	case c.out <- m:
 		return nil
+	case <-timeout:
+		return ErrTimeout
 	case <-c.state.closed:
 		return ErrClosed
 	}
@@ -82,9 +175,19 @@ func (c *chanConn) Recv() (*wire.Message, error) {
 		return m, nil
 	default:
 	}
+	c.mu.Lock()
+	deadline := c.recvDeadline
+	c.mu.Unlock()
+	timeout, stop, err := timeoutChan(deadline)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
 	select {
 	case m := <-c.in:
 		return m, nil
+	case <-timeout:
+		return nil, ErrTimeout
 	case <-c.state.closed:
 		// Drain anything that raced with close until the buffer is empty.
 		select {
@@ -102,12 +205,19 @@ func (c *chanConn) Close() error {
 	return nil
 }
 
-// tcpConn frames messages over a net.Conn.
+// tcpConn frames messages over a net.Conn. Recv keeps partial-frame
+// state so a deadline-expired read can be resumed by a later Recv: the
+// bytes already consumed from the stream are retained, not lost.
 type tcpConn struct {
 	conn net.Conn
 
 	sendMu sync.Mutex
+
 	recvMu sync.Mutex
+	hdr    [4]byte
+	hdrN   int
+	body   []byte // nil until the current frame's header is complete
+	bodyN  int
 }
 
 // NewTCPConn wraps an established net.Conn with the wire framing.
@@ -153,18 +263,74 @@ func (l *Listener) Accept() (Conn, error) {
 // Close stops the listener.
 func (l *Listener) Close() error { return l.l.Close() }
 
+// mapNetErr folds net-level failures onto the transport sentinels so
+// errors.Is works uniformly across the chan and TCP transports.
+func mapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return err
+}
+
+// SetRecvDeadline implements Deadliner.
+func (t *tcpConn) SetRecvDeadline(dl time.Time) error { return t.conn.SetReadDeadline(dl) }
+
+// SetSendDeadline implements Deadliner.
+func (t *tcpConn) SetSendDeadline(dl time.Time) error { return t.conn.SetWriteDeadline(dl) }
+
 // Send implements Conn.
 func (t *tcpConn) Send(m *wire.Message) error {
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
-	return wire.WriteFrame(t.conn, m)
+	return mapNetErr(wire.WriteFrame(t.conn, m))
 }
 
-// Recv implements Conn.
+// Recv implements Conn. A deadline expiry mid-frame leaves the partial
+// read buffered on the conn; the next Recv resumes it.
 func (t *tcpConn) Recv() (*wire.Message, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
-	return wire.ReadFrame(t.conn)
+	for t.hdrN < 4 {
+		n, err := t.conn.Read(t.hdr[t.hdrN:])
+		t.hdrN += n
+		if err != nil {
+			// EOF with a partial header read is a truncated stream, not a
+			// clean peer close.
+			if errors.Is(err, io.EOF) && t.hdrN > 0 && t.hdrN < 4 {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, mapNetErr(err)
+		}
+	}
+	if t.body == nil {
+		size := binary.LittleEndian.Uint32(t.hdr[:])
+		if size > wire.MaxFrameSize {
+			t.hdrN = 0
+			return nil, wire.ErrFrameTooLarge
+		}
+		t.body = make([]byte, size)
+		t.bodyN = 0
+	}
+	for t.bodyN < len(t.body) {
+		n, err := t.conn.Read(t.body[t.bodyN:])
+		t.bodyN += n
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, mapNetErr(err)
+		}
+	}
+	body := t.body
+	t.hdrN, t.body, t.bodyN = 0, nil, 0
+	return wire.Decode(body)
 }
 
 // Close implements Conn.

@@ -54,6 +54,18 @@ const (
 	// MsgFetchResult carries the expert weights back to the master in
 	// MsgAssign layout.
 	MsgFetchResult
+	// MsgPing is the supervisor's heartbeat probe; a live worker answers
+	// immediately with MsgPong regardless of in-flight compute.
+	MsgPing
+	// MsgPong answers a MsgPing.
+	MsgPong
+	// MsgSnapshot asks the worker for an expert's current weights
+	// WITHOUT releasing it — the non-destructive half of checkpointing
+	// and failover (MsgFetch removes the expert; MsgSnapshot copies it).
+	MsgSnapshot
+	// MsgSnapshotResult carries the copied weights back in MsgAssign
+	// layout.
+	MsgSnapshotResult
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +77,8 @@ func (t MsgType) String() string {
 		MsgError: "error", MsgShutdown: "shutdown",
 		MsgStats: "stats", MsgStatsResult: "stats_result",
 		MsgFetch: "fetch", MsgFetchResult: "fetch_result",
+		MsgPing: "ping", MsgPong: "pong",
+		MsgSnapshot: "snapshot", MsgSnapshotResult: "snapshot_result",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -79,7 +93,11 @@ func (t MsgType) String() string {
 //	ForwardResult:   Layer, Expert, Seq, Tensors[0] = outputs [n, d]
 //	Backward:        Layer, Expert, Seq, Tensors[0] = dY [n, d]
 //	BackwardResult:  Layer, Expert, Seq, Tensors[0] = dX [n, d]
-//	ZeroGrad/Step/Ack/Shutdown/Stats: no payload
+//	ZeroGrad/Ack/Shutdown/Stats/Ping/Pong: no payload
+//	Step:            Layer = step ordinal (> 0), so a worker that already
+//	                 applied the ordinal acks a post-failover re-broadcast
+//	                 without stepping twice; 0 means "always apply"
+//	Snapshot:        Layer, Expert (reply mirrors MsgAssign layout)
 //	StatsResult:     Tensors[0] = [1, k] checksum vector
 //	Error:           Text
 type Message struct {
