@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-all chaos check
+.PHONY: build test vet lint race bench bench-obs bench-all chaos check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,16 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/tensor ./internal/nn \
 		| $(GO) run ./cmd/benchjson > BENCH_tensor.json
 
+# Observability overhead gate: the paper-geometry exchange round with
+# instrumentation on vs off, plus the isolated per-request hook cost.
+# Comparing the two ObsExchange entries in BENCH_obs.json is the
+# <2%-overhead acceptance check; ObsHooksPerRequest must stay at
+# 0 allocs/op (the AllocsPerRun test and the allocbound analyzer pin the
+# same contract statically).
+bench-obs:
+	$(GO) test -run='^$$' -bench='ObsExchange|ObsHooks' -benchmem ./internal/broker \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+
 # The original whole-repo benchmark sweep, including the paper-figure
 # reproductions in the root package.
 bench-all:
@@ -47,5 +57,7 @@ chaos:
 		./internal/broker ./internal/transport ./internal/placement \
 		./internal/checkpoint ./internal/trainer ./internal/metrics
 
-# Pre-merge gate: vet + velavet + full race-enabled test suite.
+# Pre-merge gate: vet + velavet + full race-enabled test suite (the
+# race target covers internal/obs, so the tracer's striped ring and the
+# lock-free histograms are exercised under the detector on every check).
 check: vet lint race

@@ -31,16 +31,18 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/moe"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/trainer"
 	"repro/internal/transport"
 )
 
-// runOptions carries the fault-tolerance knobs into run.
+// runOptions carries the fault-tolerance and observability knobs into run.
 type runOptions struct {
 	snapshotPath   string
 	heartbeat      time.Duration
 	requestTimeout time.Duration
+	metricsAddr    string
 }
 
 func main() {
@@ -54,12 +56,13 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "expert snapshot file: the latest step-boundary expert state is flushed here on exit")
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "supervisor heartbeat interval (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-reply deadline on worker requests (0 disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090; empty disables)")
 	flag.Parse()
 
 	if *workers == "" {
 		log.Fatal("velamaster: -workers is required")
 	}
-	opts := runOptions{snapshotPath: *snapshotPath, heartbeat: *heartbeat, requestTimeout: *requestTimeout}
+	opts := runOptions{snapshotPath: *snapshotPath, heartbeat: *heartbeat, requestTimeout: *requestTimeout, metricsAddr: *metricsAddr}
 	if err := run(strings.Split(*workers, ","), *devicesPerNode, *dataset, *strategy, *steps, *pretrainSteps, *ckptPath, opts); err != nil {
 		log.Fatalf("velamaster: %v", err)
 	}
@@ -154,6 +157,31 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 	}
 	exec.Traffic = metrics.NewTraffic(topo.NumWorkers(), crossNode)
 
+	handle := obs.NewHandle(obs.Config{Workers: len(addrs), Layers: cfg.Layers, Experts: cfg.Experts})
+	handle.Drift.SetBaseline(stats.Prob())
+	handle.Drift.SetPredictedComm(m.CommTime)
+	exec.Obs = handle
+	model.SetObs(handle)
+	if opts.metricsAddr != "" {
+		src := obs.Source{
+			Handle: handle, Traffic: exec.Traffic, Recovery: exec.Recovery,
+			Alive: func() []bool {
+				mask := exec.DeadMask()
+				alive := make([]bool, len(mask))
+				for n, dead := range mask {
+					alive[n] = !dead
+				}
+				return alive
+			},
+		}
+		srv, err := obs.Serve(opts.metricsAddr, src)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics (healthz, debug/pprof alongside)\n", srv.Addr)
+	}
+
 	fmt.Println("distributing experts to workers...")
 	spec := broker.ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: lora.Rank, LoRAAlpha: lora.Alpha}
 	if err := exec.Distribute(grid, spec); err != nil {
@@ -196,6 +224,7 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		Batcher:    data.NewBatcher(corpus, 2, 32, 43),
 		ExpertZero: exec.ZeroGrads,
 		ExpertStep: exec.Step,
+		Obs:        handle,
 		Recover:    sup.Recover,
 		OnStep: func(step int) error {
 			if err := sup.Checkpoint(step); err != nil {
@@ -236,6 +265,9 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 	if rc := exec.Recovery.Snapshot(); rc.WorkerFailovers > 0 || rc.RecvTimeouts > 0 {
 		fmt.Printf("recovery: %d failover(s), %d expert(s) restored, %d step retr%s, %d recv timeout(s)\n",
 			rc.WorkerFailovers, rc.ExpertsRecovered, rc.StepRetries, plural(rc.StepRetries, "y", "ies"), rc.RecvTimeouts)
+	}
+	if err := handle.WriteBreakdown(os.Stdout); err != nil {
+		return err
 	}
 	return exec.Shutdown()
 }

@@ -24,12 +24,14 @@ import (
 	"syscall"
 
 	"repro/internal/broker"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	id := flag.Int("id", 0, "worker id (diagnostics only)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	l, err := transport.Listen(*listen)
@@ -38,6 +40,19 @@ func main() {
 	}
 	defer l.Close()
 	fmt.Printf("velaworker %d listening on %s\n", *id, l.Addr())
+
+	// The worker-side handle records per-expert compute timing (indexed by
+	// this worker's own ID) and frame-size histograms off the metered
+	// connection.
+	handle := obs.NewHandle(obs.Config{Workers: *id + 1})
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Source{Handle: handle})
+		if err != nil {
+			log.Fatalf("velaworker: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("velaworker %d metrics on http://%s/metrics\n", *id, srv.Addr)
+	}
 
 	// Graceful shutdown: the signal handler severs the listener and the
 	// active connection; Serve then drains in-flight requests and
@@ -75,8 +90,10 @@ func main() {
 	connMu.Unlock()
 	defer c.Close()
 
-	w := broker.NewWorker(*id, broker.DefaultWorkerConfig())
-	if err := w.Serve(c); err != nil {
+	wcfg := broker.DefaultWorkerConfig()
+	wcfg.Obs = handle
+	w := broker.NewWorker(*id, wcfg)
+	if err := w.Serve(transport.WithMeter(c, handle)); err != nil {
 		if interrupted.Load() && errors.Is(err, transport.ErrClosed) {
 			fmt.Printf("velaworker %d: drained and shut down after hosting %d experts\n", *id, w.NumExperts())
 			return

@@ -14,6 +14,7 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"os"
 	"time"
 
 	"repro/internal/broker"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/moe"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/trainer"
 	"repro/internal/transport"
@@ -46,13 +48,13 @@ func run() error {
 	pre.Steps = 60
 
 	fmt.Println("running failure-free reference...")
-	clean, _, err := finetune(cfg, pre, false)
+	clean, _, _, err := finetune(cfg, pre, false)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("running chaos: worker 2's connection is severed mid-step after step %d...\n", killAt)
-	chaos, rc, err := finetune(cfg, pre, true)
+	chaos, rc, handle, err := finetune(cfg, pre, true)
 	if err != nil {
 		return err
 	}
@@ -71,24 +73,29 @@ func run() error {
 		rc.WorkerFailovers, rc.ExpertsRecovered,
 		rc.StepRetries, map[bool]string{true: "y", false: "ies"}[rc.StepRetries == 1],
 		rc.RecvTimeouts, rc.Snapshots)
-	return nil
+	fmt.Println()
+	// The observability exit report for the chaos run: phase breakdown and
+	// how far measured routing drifted from the (uniform) placement-time P.
+	return handle.WriteBreakdown(os.Stdout)
 }
 
 // finetune builds a fresh deterministic checkpoint, deploys it over
 // in-process workers, and fine-tunes it — optionally killing worker 2's
 // connection abruptly after the killAt-th step's snapshot.
-func finetune(cfg moe.Config, pre trainer.PretrainConfig, kill bool) ([]float64, metrics.RecoveryCounts, error) {
+func finetune(cfg moe.Config, pre trainer.PretrainConfig, kill bool) ([]float64, metrics.RecoveryCounts, *obs.Handle, error) {
 	var zero metrics.RecoveryCounts
 	model, grid, err := trainer.BuildPretrained(cfg, 8000, pre)
 	if err != nil {
-		return nil, zero, err
+		return nil, zero, nil, err
 	}
 	lora := trainer.LoRAConfig{Rank: 2, Alpha: 4, Seed: 21}
 	trainer.PrepareForFinetune(model, grid, lora)
 
+	handle := obs.NewHandle(obs.Config{Workers: workers, Layers: cfg.Layers, Experts: cfg.Experts})
+
 	// Workers run SGD so a snapshot-restored expert recomputes the
 	// retried step exactly; AdamW moments would restart on the new host.
-	dep := broker.StartLocalWorkers(workers, broker.WorkerConfig{Optimizer: broker.OptSGD, LR: 0.05})
+	dep := broker.StartLocalWorkers(workers, broker.WorkerConfig{Optimizer: broker.OptSGD, LR: 0.05, Obs: handle})
 	conns := append([]transport.Conn(nil), dep.Conns...)
 	var faulty *transport.Faulty
 	if kill {
@@ -99,16 +106,22 @@ func finetune(cfg moe.Config, pre trainer.PretrainConfig, kill bool) ([]float64,
 	prob := uniformProblem(cfg)
 	assign, err := (placement.Sequential{}).Place(prob)
 	if err != nil {
-		return nil, zero, err
+		return nil, zero, nil, err
 	}
 	exec := broker.NewExecutor(conns, assign)
 	exec.RequestTimeout = 2 * time.Second // generous for loopback, bounded for a dead peer
 	exec.Recovery = &metrics.Recovery{}
+	exec.Obs = handle
 	spec := broker.ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: lora.Rank, LoRAAlpha: lora.Alpha}
 	if err := exec.Distribute(grid, spec); err != nil {
-		return nil, zero, err
+		return nil, zero, nil, err
 	}
 	model.SetExecutor(exec)
+	model.SetObs(handle)
+	// Baseline only: uniformProblem's bandwidths are synthetic (1 B/s,
+	// the repair path only compares relative costs), so the placement
+	// objective's predicted comm time is not in real seconds here.
+	handle.Drift.SetBaseline(prob.P)
 
 	sup := broker.NewSupervisor(exec, prob, broker.SupervisorConfig{})
 	sup.OnFailover = func(dead []int, next *placement.Assignment) {
@@ -123,6 +136,7 @@ func finetune(cfg moe.Config, pre trainer.PretrainConfig, kill bool) ([]float64,
 		Batcher:    &randomBatcher{rng: rand.New(rand.NewSource(31)), vocab: cfg.Vocab},
 		ExpertZero: exec.ZeroGrads,
 		ExpertStep: exec.Step,
+		Obs:        handle,
 		Recover:    sup.Recover,
 		OnStep: func(step int) error {
 			if err := sup.Checkpoint(step); err != nil {
@@ -137,17 +151,17 @@ func finetune(cfg moe.Config, pre trainer.PretrainConfig, kill bool) ([]float64,
 		},
 	}
 	if err := ft.Run(steps, nil); err != nil {
-		return nil, zero, err
+		return nil, zero, nil, err
 	}
 	if err := exec.Shutdown(); err != nil {
-		return nil, zero, err
+		return nil, zero, nil, err
 	}
 	for n, werr := range dep.WaitAll() {
 		if werr != nil && exec.Alive(n) {
-			return nil, zero, fmt.Errorf("live worker %d exited with %w", n, werr)
+			return nil, zero, nil, fmt.Errorf("live worker %d exited with %w", n, werr)
 		}
 	}
-	return ft.Losses.Values, exec.Recovery.Snapshot(), nil
+	return ft.Losses.Values, exec.Recovery.Snapshot(), handle, nil
 }
 
 // uniformProblem gives the supervisor's repair path a valid placement

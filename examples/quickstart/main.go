@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/trainer"
 )
 
@@ -57,11 +59,13 @@ func run() error {
 	// 4 + 5. Locality-aware placement on a 3-node topology (capacity 8
 	// per device forces spreading), then deploy through the broker.
 	topo := cluster.Uniform(6, 2, 8, 18.3*cluster.GB, 1.17*cluster.GB)
+	handle := obs.NewHandle(obs.Config{Workers: topo.NumWorkers(), Layers: cfg.Layers, Experts: cfg.Experts})
 	sys, err := core.Deploy(model, grid, core.Options{
 		Topo:            topo,
 		Stats:           stats,
 		RoutingsPerStep: float64(2 * 32 * cfg.TopK),
 		LoRA:            lora,
+		Obs:             handle,
 	})
 	if err != nil {
 		return err
@@ -81,6 +85,13 @@ func run() error {
 
 	fmt.Printf("traffic: %.2f MB total, %.2f MB cross-node\n",
 		float64(sys.Traffic.TotalBytes())/1e6, float64(sys.CrossNodeBytes())/1e6)
+
+	// The observability exit report: where each step's time went, and how
+	// far the live routing distribution has drifted from the placement-time
+	// P (Theorem 1 predicts: not far).
+	if err := handle.WriteBreakdown(os.Stdout); err != nil {
+		return err
+	}
 
 	// Bonus: sample from the fine-tuned model (forward passes flow
 	// through the distributed experts).

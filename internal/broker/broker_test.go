@@ -309,7 +309,7 @@ func TestTrafficAccounting(t *testing.T) {
 	for _, w := range snap {
 		tokensOut += w.TokensToWorker
 		// Returned tokens must equal dispatched tokens per worker.
-		if w.TokensToWorker != w.TokensFromWoker {
+		if w.TokensToWorker != w.TokensFromWorker {
 			t.Fatalf("token conservation violated: %+v", w)
 		}
 		// Logical bytes = tokens × D × 2 (fp16).

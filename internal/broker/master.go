@@ -10,6 +10,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/metrics"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -74,6 +75,11 @@ type Executor struct {
 	// Recovery, when non-nil, receives fault-tolerance counters (timeouts,
 	// retries, stale/duplicate replies). A nil meter discards them.
 	Recovery *metrics.Recovery
+	// Obs, when non-nil, receives the exchange-lifecycle trace (enqueue,
+	// send, reply, decode), the latency/queue-wait/straggler histograms
+	// and the exchange-phase spans. A nil handle costs one branch per
+	// hook and records nothing.
+	Obs *obs.Handle
 
 	seq atomic.Uint64
 	// connSem serializes rounds per connection so the supervisor's
@@ -254,10 +260,18 @@ func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), on
 	go func() {
 		defer close(sent)
 		for i, msg := range msgs {
+			var enqT0 int64
+			if x.Obs != nil {
+				enqT0 = x.Obs.Trace.Clock()
+			}
 			select {
 			case slots <- struct{}{}:
 			case <-abort:
 				return
+			}
+			if x.Obs != nil {
+				wait := time.Duration(x.Obs.Trace.Clock() - enqT0)
+				x.Obs.OnEnqueue(n, int(msg.Layer), int(msg.Expert), wait)
 			}
 			seq := x.seq.Add(1)
 			msg.Seq = seq
@@ -271,6 +285,9 @@ func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), on
 				pendMu.Unlock()
 				fail(fmt.Errorf("broker: send to worker %d: %w", n, err))
 				return
+			}
+			if x.Obs != nil {
+				x.Obs.OnSend(n, int(msg.Layer), int(msg.Expert), seq, wire.EncodedSize(msg))
 			}
 			if onSent != nil {
 				onSent(i)
@@ -324,6 +341,9 @@ func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), on
 			<-slots
 			if !ok {
 				break // consumed the slot for the garbage reply; move on
+			}
+			if x.Obs != nil {
+				x.Obs.OnReply(n, reply.Seq, wire.EncodedSize(reply))
 			}
 			if reply.Type == wire.MsgError {
 				fail(fmt.Errorf("broker: worker %d: %s", n, reply.Text))
@@ -402,6 +422,9 @@ func (x *Executor) BackwardExperts(layer int, grads map[int]*tensor.Tensor) (map
 // compute overlaps master communication and arbitrarily many experts per
 // worker cannot deadlock the transport.
 func (x *Executor) exchange(layer int, batches map[int]*tensor.Tensor, reqType, respType wire.MsgType) (map[int]*tensor.Tensor, error) {
+	sp := x.Obs.Begin(obs.PhaseExchange)
+	defer sp.End()
+	roundStart := x.Obs.RoundStart()
 	// Group expert batches per worker in deterministic expert order.
 	perWorker := make(map[int][]int)
 	maxE := 0
@@ -457,7 +480,15 @@ func (x *Executor) exchange(layer int, batches map[int]*tensor.Tensor, reqType, 
 				if len(reply.Tensors) != 1 {
 					return fmt.Errorf("broker: worker %d %v reply carries %d tensors, want 1", n, reply.Type, len(reply.Tensors))
 				}
+				var decT0 int64
+				if x.Obs != nil {
+					decT0 = x.Obs.Trace.Clock()
+				}
 				out := tensorOf(reply.Tensors[0])
+				if x.Obs != nil {
+					x.Obs.OnDecode(n, layer, experts[i], reply.Seq,
+						time.Duration(x.Obs.Trace.Clock()-decT0))
+				}
 				mu.Lock()
 				results[experts[i]] = out
 				mu.Unlock()
@@ -466,12 +497,14 @@ func (x *Executor) exchange(layer int, batches map[int]*tensor.Tensor, reqType, 
 				}
 				return nil
 			})
+			x.Obs.WorkerRoundDone(n, roundStart)
 			if err != nil {
 				setErr(err)
 			}
 		}(n, experts)
 	}
 	wg.Wait()
+	x.Obs.RoundEnd()
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/moe"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -32,6 +34,10 @@ type WorkerConfig struct {
 	// requests for the same expert always serialize. 0 selects
 	// runtime.GOMAXPROCS(0); 1 restores fully serial execution.
 	Parallelism int
+	// Obs, when non-nil, receives per-expert compute timing from
+	// runExpert. In a local deployment this is usually the master's
+	// handle; a distributed velaworker owns its own.
+	Obs *obs.Handle
 }
 
 // DefaultWorkerConfig matches the paper's fine-tuning setup (AdamW with
@@ -371,7 +377,16 @@ func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix
 			out, err = nil, fmt.Errorf("broker: worker %d: %v on %v panicked: %v", w.ID, msg.Type, id, r)
 		}
 	}()
-	return fn(e)
+	var t0 int64
+	if w.cfg.Obs != nil {
+		t0 = w.cfg.Obs.Trace.Clock()
+	}
+	out, err = fn(e)
+	if w.cfg.Obs != nil && err == nil {
+		w.cfg.Obs.OnCompute(w.ID, int(msg.Layer), int(msg.Expert),
+			time.Duration(w.cfg.Obs.Trace.Clock()-t0))
+	}
+	return out, err
 }
 
 // buildOptimizer constructs the configured optimizer over all trainable

@@ -23,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/moe"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/trainer"
 	"repro/internal/transport"
@@ -49,6 +50,12 @@ type Options struct {
 	// Worker selects the Expert Manager optimizer configuration;
 	// defaults to the paper's AdamW.
 	Worker *broker.WorkerConfig
+	// Obs, when non-nil, instruments the whole deployment: the broker's
+	// exchange lifecycle, the in-process workers' compute timing, the
+	// model's gate routing (P-drift baseline comes from Stats), and the
+	// placement objective's predicted comm time. System.Finetuner wires
+	// the same handle into the training loop.
+	Obs *obs.Handle
 }
 
 // System is a deployed VELA instance: backbone on the "master" (this
@@ -60,6 +67,9 @@ type System struct {
 	Assignment *placement.Assignment
 	Exec       *broker.Executor
 	Traffic    *metrics.Traffic
+	// Obs is the deployment's observability handle (nil when Options.Obs
+	// was not set).
+	Obs *obs.Handle
 
 	deployment *broker.LocalDeployment
 	closed     bool
@@ -124,8 +134,14 @@ func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placem
 	if opts.Worker != nil {
 		wcfg = *opts.Worker
 	}
+	if wcfg.Obs == nil {
+		// In-process workers share the master's handle, so its /metrics
+		// carries real per-worker compute histograms.
+		wcfg.Obs = opts.Obs
+	}
 	dep := broker.StartLocalWorkers(opts.Topo.NumWorkers(), wcfg)
 	exec := broker.NewExecutor(dep.Conns, assign)
+	exec.Obs = opts.Obs
 	crossNode := make([]bool, opts.Topo.NumWorkers())
 	for n := range crossNode {
 		crossNode[n] = opts.Topo.CrossNode(n)
@@ -144,12 +160,33 @@ func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placem
 		return nil, fmt.Errorf("core: distributing experts: %w", err)
 	}
 	model.SetExecutor(exec)
+	if opts.Obs != nil {
+		model.SetObs(opts.Obs)
+		if opts.Stats != nil {
+			// The placement-time P is the drift baseline; the objective's
+			// value for this assignment is the predicted comm gauge.
+			opts.Obs.Drift.SetBaseline(opts.Stats.Prob())
+			routings := opts.RoutingsPerStep
+			if routings <= 0 {
+				routings = 8 * 224 * float64(model.Cfg.TopK)
+			}
+			bitDepth := opts.BitDepth
+			if bitDepth == 0 {
+				bitDepth = 16
+			}
+			prob := PlacementProblem(opts.Topo, opts.Stats, routings, model.Cfg.D, bitDepth)
+			if m, err := placement.Evaluate(prob, assign); err == nil {
+				opts.Obs.Drift.SetPredictedComm(m.CommTime)
+			}
+		}
+	}
 	return &System{
 		Model:      model,
 		Topo:       opts.Topo,
 		Assignment: assign,
 		Exec:       exec,
 		Traffic:    traffic,
+		Obs:        opts.Obs,
 		deployment: dep,
 	}, nil
 }
@@ -165,6 +202,25 @@ func (s *System) Finetuner(corpus *data.Corpus, batch, seqLen int, seed int64) *
 		Batcher:    data.NewBatcher(corpus, batch, seqLen, seed),
 		ExpertZero: s.Exec.ZeroGrads,
 		ExpertStep: s.Exec.Step,
+		Obs:        s.Obs,
+	}
+}
+
+// MetricsSource bundles the system's meters for the obs scrape endpoints
+// (obs.Serve / obs.NewMux).
+func (s *System) MetricsSource() obs.Source {
+	return obs.Source{
+		Handle:   s.Obs,
+		Traffic:  s.Traffic,
+		Recovery: s.Exec.Recovery,
+		Alive: func() []bool {
+			mask := s.Exec.DeadMask()
+			alive := make([]bool, len(mask))
+			for n, dead := range mask {
+				alive[n] = !dead
+			}
+			return alive
+		},
 	}
 }
 

@@ -31,10 +31,18 @@ import (
 // must use the destination-passing (*Into), in-place, or arena APIs. A
 // deliberate allocation (e.g. a result that escapes the step) is
 // annotated //velavet:allow allocbound with the reason.
+//
+// Third, the observability hot-path invariant (DESIGN.md §13): inside an
+// obs package's per-request hooks (Record, Observe, OnSend, …) any
+// allocation expression — make, new, append, &T{…}, a function literal,
+// or an fmt call — is a finding. Those hooks run for every message on
+// the exchange hot path; their zero-steady-state-allocation contract is
+// what keeps instrumented and uninstrumented runs within noise of each
+// other.
 var AllocBound = &Analyzer{
 	Name:       "allocbound",
-	Doc:        "unchecked wire-header make(), or allocating tensor ops in per-step hot paths",
-	Components: []string{"wire", "broker", "tensor", "nn", "moe"},
+	Doc:        "unchecked wire-header make(), allocating tensor ops in per-step hot paths, or allocations in obs per-request hooks",
+	Components: []string{"wire", "broker", "tensor", "nn", "moe", "obs"},
 	Run:        runAllocBound,
 }
 
@@ -46,6 +54,28 @@ var hotPathFuncs = map[string]bool{
 	"Backward":  true,
 	"Step":      true,
 	"runExpert": true,
+}
+
+// obsHotPathFuncs are the observability hooks that run once per request
+// (or per span) on the exchange hot path. Inside an obs package these
+// must not contain allocation syntax of any kind.
+var obsHotPathFuncs = map[string]bool{
+	"Record":          true, // Tracer.Record
+	"Clock":           true, // Tracer.Clock
+	"Observe":         true, // Histogram.Observe
+	"bucketOf":        true,
+	"OnEnqueue":       true,
+	"OnSend":          true,
+	"OnReply":         true,
+	"OnDecode":        true,
+	"OnCompute":       true,
+	"RoundStart":      true,
+	"WorkerRoundDone": true,
+	"RoundEnd":        true,
+	"Begin":           true, // Handle.Begin (span open)
+	"End":             true, // Span.End
+	"ConnSend":        true,
+	"ConnRecv":        true,
 }
 
 // allocatingTensorMethods are the tensor.Tensor methods that allocate
@@ -63,6 +93,12 @@ var allocatingTensorMethods = map[string]bool{
 }
 
 func runAllocBound(pass *Pass) {
+	obsPkg := false
+	for _, comp := range strings.Split(pass.Pkg.Path, "/") {
+		if comp == "obs" {
+			obsPkg = true
+		}
+	}
 	for _, f := range pass.Pkg.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -74,8 +110,54 @@ func runAllocBound(pass *Pass) {
 			if hotPathFuncs[fd.Name.Name] && !isTestFile(pass.Fset(), fd.Pos()) {
 				checkHotPathAllocs(pass, fd)
 			}
+			if obsPkg && obsHotPathFuncs[fd.Name.Name] && !isTestFile(pass.Fset(), fd.Pos()) {
+				checkObsHookAllocs(pass, fd)
+			}
 		}
 	}
+}
+
+// checkObsHookAllocs reports any allocation expression inside an obs
+// per-request hook: make, new, append, a pointer-to-composite-literal, a
+// function literal, or an fmt call. Value composite literals (Event{…}
+// passed by value) and atomic/mutex operations are not allocations and
+// pass.
+func checkObsHookAllocs(pass *Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos,
+			"%s in obs per-request hook %s — these run for every exchange message and must not allocate; restructure onto preallocated state, or annotate //velavet:allow allocbound with why",
+			what, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal (closure allocation)")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite-literal allocation")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, isB := pass.Info().Uses[id].(*types.Builtin); isB {
+					switch b.Name() {
+					case "make", "new", "append":
+						report(n.Pos(), b.Name()+" allocation")
+					}
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if x, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := pass.Info().Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+						report(n.Pos(), "fmt call (interface boxing allocates)")
+					}
+				}
+			}
+		}
+		return true
+	})
 }
 
 // checkHotPathAllocs reports allocating tensor-op calls anywhere inside

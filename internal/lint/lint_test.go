@@ -140,6 +140,7 @@ func TestAnalyzerScoping(t *testing.T) {
 		{AllocBound, "repro/internal/tensor", true},
 		{AllocBound, "repro/internal/nn", true},
 		{AllocBound, "repro/internal/moe", true},
+		{AllocBound, "repro/internal/obs", true},
 		{AllocBound, "repro/internal/trainer", false},
 		{FloatEq, "repro/internal/anything", true},
 	}

@@ -16,7 +16,7 @@ type WorkerTraffic struct {
 	BytesToWorker   int64
 	BytesFromWorker int64
 	TokensToWorker  int64
-	TokensFromWoker int64
+	TokensFromWorker int64
 	Messages        int64
 }
 
@@ -57,7 +57,7 @@ func (t *Traffic) AddFromWorker(worker int, tokens, bytes int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.per[worker].BytesFromWorker += bytes
-	t.per[worker].TokensFromWoker += tokens
+	t.per[worker].TokensFromWorker += tokens
 	t.per[worker].Messages++
 }
 

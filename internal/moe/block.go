@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -21,6 +22,9 @@ type Block struct {
 	Exec Executor
 	// Stats, when non-nil, accumulates routing counts on every forward.
 	Stats *AccessStats
+	// Obs, when non-nil, feeds every forward's gate selections to the
+	// placement-fidelity (P-drift) monitor.
+	Obs *obs.Handle
 	// AuxLossCoef is the Switch-Transformer-style load-balancing
 	// coefficient, active only while the gate is trainable (pre-training).
 	// The paper's fine-tuning keeps the gate frozen, so this is zero
@@ -72,6 +76,9 @@ func (b *Block) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	b.routing = r
 	if b.Stats != nil {
 		b.Stats.Record(b.Layer, r)
+	}
+	if b.Obs != nil {
+		b.Obs.RecordRouting(b.Layer, r.Experts)
 	}
 
 	// Group token rows per selected expert, preserving token order.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -133,6 +134,15 @@ func (m *Model) SetExecutor(exec Executor) {
 func (m *Model) SetStats(s *AccessStats) {
 	for _, l := range m.Layers {
 		l.MoE.Stats = s
+	}
+}
+
+// SetObs installs an observability handle on every block (pass nil to
+// disable); each forward's gate selections then feed the handle's
+// P-drift monitor.
+func (m *Model) SetObs(h *obs.Handle) {
+	for _, l := range m.Layers {
+		l.MoE.Obs = h
 	}
 }
 

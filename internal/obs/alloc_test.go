@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHotPathHooksDoNotAllocate pins the tentpole's core contract: every
+// hook the broker's exchange hot path calls per request — and the span
+// pair the trainer calls per phase — allocates nothing in steady state.
+// Together with the allocbound analyzer (which bans allocation syntax in
+// these functions statically) and the instrumented-exchange benchmark,
+// this is the "zero steady-state heap allocations" acceptance criterion.
+func TestHotPathHooksDoNotAllocate(t *testing.T) {
+	h := NewHandle(Config{Workers: 2, Layers: 2, Experts: 3})
+	h.Drift.SetBaseline([][]float64{{0.5, 0.5, 0}, {0.5, 0.5, 0}})
+	sel := [][]int{{0, 1, 2, 1}}
+	var seq uint64
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Tracer.Record", func() {
+			h.Trace.Record(Event{Kind: EvSend, Seq: seq})
+			seq++
+		}},
+		{"Histogram.Observe", func() { h.QueueWait.Observe(1e-4) }},
+		{"OnEnqueue", func() { h.OnEnqueue(1, 0, 2, 3*time.Microsecond) }},
+		{"OnSend", func() {
+			h.OnSend(1, 0, 2, seq, 4096)
+			seq++
+		}},
+		{"OnSend+OnReply", func() {
+			h.OnSend(0, 1, 1, seq, 4096)
+			h.OnReply(0, seq, 2048)
+			seq++
+		}},
+		{"OnDecode", func() { h.OnDecode(0, 1, 1, seq, time.Microsecond) }},
+		{"OnCompute", func() { h.OnCompute(1, 0, 2, 50*time.Microsecond) }},
+		{"Span", func() {
+			sp := h.Begin(PhaseExchange)
+			sp.End()
+		}},
+		{"Round", func() {
+			start := h.RoundStart()
+			h.WorkerRoundDone(0, start)
+			h.WorkerRoundDone(1, start)
+			h.RoundEnd()
+		}},
+		{"RecordRouting", func() { h.RecordRouting(0, sel) }},
+		{"ConnMeter", func() {
+			h.ConnSend(1024)
+			h.ConnRecv(512)
+		}},
+	}
+	for _, c := range cases {
+		c.fn() // warm any first-use paths before measuring
+		if allocs := testing.AllocsPerRun(200, c.fn); allocs > 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestNilHandleHooksDoNotAllocate pins the uninstrumented side of the
+// contract: a nil handle's hooks are branch-only.
+func TestNilHandleHooksDoNotAllocate(t *testing.T) {
+	var h *Handle
+	fn := func() {
+		h.StartStep(1)
+		h.OnEnqueue(0, 0, 0, time.Microsecond)
+		h.OnSend(0, 0, 0, 1, 10)
+		h.OnReply(0, 1, 10)
+		h.OnDecode(0, 0, 0, 1, time.Microsecond)
+		h.OnCompute(0, 0, 0, time.Microsecond)
+		sp := h.Begin(PhaseForward)
+		sp.End()
+		h.WorkerRoundDone(0, h.RoundStart())
+		h.RoundEnd()
+		h.RecordRouting(0, nil)
+		h.ConnSend(1)
+		h.ConnRecv(1)
+		h.EndStep()
+	}
+	if allocs := testing.AllocsPerRun(100, fn); allocs > 0 {
+		t.Fatalf("nil-handle hooks allocate %.1f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,451 @@
+// Package obs is the observability layer of the reproduction: a
+// zero-steady-state-allocation event tracer for the expert-exchange
+// lifecycle, fixed-bucket latency/size histograms, step-phase spans with a
+// per-step breakdown table, a placement-fidelity (P-matrix drift) monitor,
+// and Prometheus-text scrape endpoints.
+//
+// Everything hangs off a *Handle whose methods are nil-receiver-safe: an
+// uninstrumented runtime passes a nil handle and every hook costs one
+// predictable branch, no allocation, no lock.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Phase names a step-level span.
+type Phase uint8
+
+// Step phases, in execution order.
+const (
+	PhaseNone Phase = iota
+	PhaseForward
+	PhaseBackward
+	PhaseExchange
+	PhaseOptimizer
+	numPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNone:
+		return ""
+	case PhaseForward:
+		return "forward"
+	case PhaseBackward:
+		return "backward"
+	case PhaseExchange:
+		return "expert-exchange"
+	case PhaseOptimizer:
+		return "optimizer"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Config sizes a Handle.
+type Config struct {
+	// Workers is the worker-pool size (per-worker histograms are
+	// preallocated for indices [0, Workers)).
+	Workers int
+	// Layers × Experts sizes the drift monitor's P̂ matrix.
+	Layers  int
+	Experts int
+	// TraceCapacity is the event ring size (default 4096).
+	TraceCapacity int
+	// DriftAlpha is the EWMA coefficient of the drift monitor and the
+	// measured-comm gauge (default 0.05).
+	DriftAlpha float64
+	// Window is the per-worker send-timestamp table size used to match
+	// replies to sends for the latency histogram. Must be at least the
+	// broker's in-flight window; rounded up to a power of two (default
+	// 1024).
+	Window int
+}
+
+// phaseAgg accumulates one phase's span time.
+type phaseAgg struct {
+	ns atomic.Int64
+	n  atomic.Uint64
+}
+
+// Handle is the per-process instrumentation root. One lives on the
+// master (fed by the broker Executor, the trainer, and moe gating) and
+// one on each worker (fed by runExpert). All hook methods are safe for
+// concurrent use, never allocate in steady state, and are no-ops on a
+// nil receiver.
+type Handle struct {
+	// Trace is the lifecycle event ring.
+	Trace *Tracer
+	// Drift is the placement-fidelity monitor.
+	Drift *DriftMonitor
+
+	// Per-worker histograms, indexed by worker ID. Hooks with an
+	// out-of-range worker index are dropped (a worker-side handle sized
+	// for its own ID simply ignores foreign IDs).
+	ReqLatency   []*Histogram // send→reply seconds
+	Compute      []*Histogram // expert compute seconds (worker side)
+	StragglerGap []*Histogram // slowest-minus-this-worker round seconds
+
+	// Aggregate histograms.
+	QueueWait *Histogram // seconds a request waited for a window slot
+	FrameTx   *Histogram // encoded request bytes
+	FrameRx   *Histogram // encoded reply bytes
+
+	phases  [numPhases]phaseAgg
+	curStep atomic.Int64
+	steps   atomic.Uint64
+
+	// sendTs[n][seq&winMask] is the send timestamp of the request with
+	// that Seq, matched by OnReply. The table is as wide as the in-flight
+	// window, so live Seqs never collide.
+	sendTs  [][]atomic.Int64
+	winMask uint64
+
+	// roundDur[n] is worker n's duration in the current exchange round;
+	// RoundEnd turns the per-worker deltas into straggler gaps.
+	roundDur []atomic.Int64
+
+	// exchangeNs accumulates exchange-span time within the current step
+	// for the measured-comm gauge.
+	exchangeNs atomic.Int64
+}
+
+// NewHandle builds a handle. Zero config fields select defaults; Workers
+// of zero still yields a usable handle with no per-worker histograms.
+func NewHandle(cfg Config) *Handle {
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = 4096
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1024
+	}
+	win := uint64(64)
+	for win < uint64(cfg.Window) {
+		win <<= 1
+	}
+	h := &Handle{
+		Trace:     NewTracer(cfg.TraceCapacity),
+		Drift:     NewDriftMonitor(cfg.Layers, cfg.Experts, cfg.DriftAlpha),
+		QueueWait: NewHistogram(LatencyBounds()),
+		FrameTx:   NewHistogram(SizeBounds()),
+		FrameRx:   NewHistogram(SizeBounds()),
+		winMask:   win - 1,
+	}
+	h.ReqLatency = make([]*Histogram, cfg.Workers)
+	h.Compute = make([]*Histogram, cfg.Workers)
+	h.StragglerGap = make([]*Histogram, cfg.Workers)
+	h.sendTs = make([][]atomic.Int64, cfg.Workers)
+	h.roundDur = make([]atomic.Int64, cfg.Workers)
+	for n := 0; n < cfg.Workers; n++ {
+		h.ReqLatency[n] = NewHistogram(LatencyBounds())
+		h.Compute[n] = NewHistogram(LatencyBounds())
+		h.StragglerGap[n] = NewHistogram(LatencyBounds())
+		h.sendTs[n] = make([]atomic.Int64, win)
+	}
+	return h
+}
+
+// Workers returns how many per-worker histogram slots the handle holds.
+func (h *Handle) Workers() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.ReqLatency)
+}
+
+func (h *Handle) stepNow() int32 {
+	return int32(h.curStep.Load())
+}
+
+// StartStep marks the beginning of training step `step`; subsequent
+// trace events carry it.
+func (h *Handle) StartStep(step int) {
+	if h == nil {
+		return
+	}
+	h.curStep.Store(int64(step))
+}
+
+// EndStep closes the step: the drift monitor folds the step's routing
+// counts into P̂ and the step's accumulated exchange time feeds the
+// measured-comm gauge.
+func (h *Handle) EndStep() {
+	if h == nil {
+		return
+	}
+	h.steps.Add(1)
+	h.Drift.EndStep()
+	if ns := h.exchangeNs.Swap(0); ns > 0 {
+		h.Drift.AddMeasuredComm(float64(ns) / 1e9)
+	}
+}
+
+// Steps returns how many steps have completed.
+func (h *Handle) Steps() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.steps.Load()
+}
+
+// RecordRouting forwards one layer's gate selections to the drift
+// monitor.
+func (h *Handle) RecordRouting(layer int, selections [][]int) {
+	if h == nil {
+		return
+	}
+	h.Drift.RecordRouting(layer, selections)
+}
+
+// OnEnqueue records a request entering worker n's send window after
+// waiting `wait` for an in-flight slot.
+func (h *Handle) OnEnqueue(n, layer, expert int, wait time.Duration) {
+	if h == nil {
+		return
+	}
+	h.QueueWait.Observe(wait.Seconds())
+	h.Trace.Record(Event{
+		Kind: EvEnqueue, Step: h.stepNow(), Worker: int32(n),
+		Layer: int32(layer), Expert: int32(expert), Dur: wait.Nanoseconds(),
+	})
+}
+
+// OnSend records a request of `bytes` encoded bytes going on the wire to
+// worker n and stamps its send time for latency matching.
+func (h *Handle) OnSend(n, layer, expert int, seq uint64, bytes int) {
+	if h == nil {
+		return
+	}
+	now := h.Trace.Clock()
+	if n >= 0 && n < len(h.sendTs) {
+		h.sendTs[n][seq&h.winMask].Store(now)
+	}
+	h.FrameTx.Observe(float64(bytes))
+	h.Trace.Record(Event{
+		At: now, Kind: EvSend, Step: h.stepNow(), Worker: int32(n),
+		Layer: int32(layer), Expert: int32(expert), Seq: seq, Bytes: int64(bytes),
+	})
+}
+
+// OnReply records a correlated reply of `bytes` encoded bytes from
+// worker n; the send→reply latency is recovered from the timestamp table.
+func (h *Handle) OnReply(n int, seq uint64, bytes int) {
+	if h == nil {
+		return
+	}
+	now := h.Trace.Clock()
+	var lat int64
+	if n >= 0 && n < len(h.sendTs) {
+		if ts := h.sendTs[n][seq&h.winMask].Swap(0); ts > 0 && ts <= now {
+			lat = now - ts
+			h.ReqLatency[n].Observe(float64(lat) / 1e9)
+		}
+	}
+	h.FrameRx.Observe(float64(bytes))
+	h.Trace.Record(Event{
+		At: now, Kind: EvReply, Step: h.stepNow(), Worker: int32(n),
+		Seq: seq, Dur: lat, Bytes: int64(bytes),
+	})
+}
+
+// OnDecode records a reply payload decoded into a tensor.
+func (h *Handle) OnDecode(n, layer, expert int, seq uint64, d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Trace.Record(Event{
+		Kind: EvDecode, Step: h.stepNow(), Worker: int32(n),
+		Layer: int32(layer), Expert: int32(expert), Seq: seq, Dur: d.Nanoseconds(),
+	})
+}
+
+// OnCompute records one expert forward/backward taking d on worker n.
+// Called worker-side from runExpert; on a handle sized for fewer workers
+// the histogram observation is dropped but the trace event is kept.
+func (h *Handle) OnCompute(n, layer, expert int, d time.Duration) {
+	if h == nil {
+		return
+	}
+	if n >= 0 && n < len(h.Compute) {
+		h.Compute[n].Observe(d.Seconds())
+	}
+	h.Trace.Record(Event{
+		Kind: EvCompute, Step: h.stepNow(), Worker: int32(n),
+		Layer: int32(layer), Expert: int32(expert), Dur: d.Nanoseconds(),
+	})
+}
+
+// RoundStart opens an exchange round and returns its start timestamp
+// (pass to WorkerRoundDone). A nil handle returns 0.
+func (h *Handle) RoundStart() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.Trace.Clock()
+}
+
+// WorkerRoundDone marks worker n's share of the round (started at
+// startNs) as complete.
+func (h *Handle) WorkerRoundDone(n int, startNs int64) {
+	if h == nil || n < 0 || n >= len(h.roundDur) {
+		return
+	}
+	h.roundDur[n].Store(h.Trace.Clock() - startNs)
+}
+
+// RoundEnd closes an exchange round: each participating worker's
+// straggler gap (slowest worker's duration minus its own) is observed
+// and the scratch durations are cleared.
+func (h *Handle) RoundEnd() {
+	if h == nil {
+		return
+	}
+	var max int64
+	for n := range h.roundDur {
+		if d := h.roundDur[n].Load(); d > max {
+			max = d
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for n := range h.roundDur {
+		if d := h.roundDur[n].Swap(0); d > 0 {
+			h.StragglerGap[n].Observe(float64(max-d) / 1e9)
+		}
+	}
+}
+
+// Span is an open step-phase interval. It is a value type: Begin/End pairs
+// allocate nothing.
+type Span struct {
+	h     *Handle
+	start int64
+	phase Phase
+}
+
+// Begin opens a span for phase p. On a nil handle the returned span is
+// inert.
+func (h *Handle) Begin(p Phase) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: h.Trace.Clock(), phase: p}
+}
+
+// End closes the span: the phase aggregate advances and an EvSpan trace
+// event is recorded. Exchange spans additionally feed the step's
+// measured communication time.
+func (s Span) End() {
+	h := s.h
+	if h == nil {
+		return
+	}
+	end := h.Trace.Clock()
+	dur := end - s.start
+	agg := &h.phases[s.phase]
+	agg.ns.Add(dur)
+	agg.n.Add(1)
+	if s.phase == PhaseExchange {
+		h.exchangeNs.Add(dur)
+	}
+	h.Trace.Record(Event{At: end, Kind: EvSpan, Step: h.stepNow(), Phase: s.phase, Dur: dur})
+}
+
+// PhaseStat is one row of the per-step breakdown table.
+type PhaseStat struct {
+	Phase     Phase
+	Count     uint64
+	TotalSec  float64
+	PerStepMs float64
+}
+
+// Breakdown returns the per-phase time aggregates. PerStepMs divides by
+// the number of completed steps (or 1 before the first EndStep).
+func (h *Handle) Breakdown() []PhaseStat {
+	if h == nil {
+		return nil
+	}
+	steps := h.steps.Load()
+	if steps == 0 {
+		steps = 1
+	}
+	out := make([]PhaseStat, 0, int(numPhases)-1)
+	for p := PhaseForward; p < numPhases; p++ {
+		agg := &h.phases[p]
+		total := float64(agg.ns.Load()) / 1e9
+		out = append(out, PhaseStat{
+			Phase:     p,
+			Count:     agg.n.Load(),
+			TotalSec:  total,
+			PerStepMs: total / float64(steps) * 1e3,
+		})
+	}
+	return out
+}
+
+// WriteBreakdown prints the per-step breakdown table plus the drift and
+// comm gauges — the exit report the examples emit.
+func (h *Handle) WriteBreakdown(w io.Writer) error {
+	if h == nil {
+		return nil
+	}
+	steps := h.Steps()
+	if _, err := fmt.Fprintf(w, "per-step breakdown (%d steps):\n", steps); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-16s %8s %12s %12s\n", "phase", "spans", "total (s)", "ms/step"); err != nil {
+		return err
+	}
+	for _, st := range h.Breakdown() {
+		if _, err := fmt.Fprintf(w, "  %-16s %8d %12.4f %12.3f\n",
+			st.Phase.String(), st.Count, st.TotalSec, st.PerStepMs); err != nil {
+			return err
+		}
+	}
+	if drift := h.Drift.Drift(); drift != nil {
+		if _, err := fmt.Fprintf(w, "placement drift (L1 per layer, 0=faithful):\n"); err != nil {
+			return err
+		}
+		for l, v := range drift {
+			if _, err := fmt.Fprintf(w, "  layer %2d: %.4f\n", l, v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  max: %.4f\n", h.Drift.MaxDrift()); err != nil {
+			return err
+		}
+	}
+	if pred, meas := h.Drift.CommGauges(); pred > 0 || meas > 0 {
+		predStr := "n/a"
+		if pred > 0 {
+			predStr = fmt.Sprintf("%.6fs", pred)
+		}
+		if _, err := fmt.Fprintf(w, "step comm time: predicted %s, measured %.6fs\n", predStr, meas); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConnSend implements transport.Meter: one encoded frame of `bytes`
+// leaving this process.
+func (h *Handle) ConnSend(bytes int) {
+	if h == nil {
+		return
+	}
+	h.FrameTx.Observe(float64(bytes))
+}
+
+// ConnRecv implements transport.Meter: one encoded frame of `bytes`
+// arriving.
+func (h *Handle) ConnRecv(bytes int) {
+	if h == nil {
+		return
+	}
+	h.FrameRx.Observe(float64(bytes))
+}

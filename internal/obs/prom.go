@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Source bundles everything a scrape exports. Any field may be nil (or,
+// for Alive, absent): the corresponding metric families are simply
+// omitted.
+type Source struct {
+	Handle   *Handle
+	Traffic  *metrics.Traffic
+	Recovery *metrics.Recovery
+	// Alive reports per-worker liveness (the Supervisor's view via
+	// Executor.DeadMask, inverted). Feeds vela_worker_alive and /healthz.
+	Alive func() []bool
+}
+
+// WriteMetrics writes the full metric catalogue in Prometheus text
+// exposition format (one HELP/TYPE header per family, cumulative
+// histogram buckets with le labels).
+func WriteMetrics(w io.Writer, s Source) error {
+	pw := &promWriter{w: w}
+	h := s.Handle
+	if h != nil {
+		pw.header("vela_steps_total", "counter", "Completed training steps.")
+		pw.sample("vela_steps_total", "", float64(h.Steps()))
+		pw.header("vela_trace_events_total", "counter", "Trace events recorded since start.")
+		pw.sample("vela_trace_events_total", "", float64(h.Trace.Total()))
+		pw.header("vela_trace_events_dropped_total", "counter", "Trace events overwritten by ring wraparound.")
+		pw.sample("vela_trace_events_dropped_total", "", float64(h.Trace.Dropped()))
+
+		pw.header("vela_phase_seconds_total", "counter", "Cumulative seconds per step phase.")
+		for _, st := range h.Breakdown() {
+			pw.sample("vela_phase_seconds_total", `phase="`+st.Phase.String()+`"`, st.TotalSec)
+		}
+		pw.header("vela_phase_spans_total", "counter", "Completed spans per step phase.")
+		for _, st := range h.Breakdown() {
+			pw.sample("vela_phase_spans_total", `phase="`+st.Phase.String()+`"`, float64(st.Count))
+		}
+
+		pw.histogram("vela_queue_wait_seconds", "Time requests waited for an in-flight window slot.", "", h.QueueWait.Snapshot())
+		for n := range h.ReqLatency {
+			lbl := `worker="` + strconv.Itoa(n) + `"`
+			pw.histogram("vela_request_latency_seconds", "Send-to-reply latency per worker.", lbl, h.ReqLatency[n].Snapshot())
+		}
+		for n := range h.Compute {
+			if h.Compute[n].Count() == 0 {
+				continue
+			}
+			lbl := `worker="` + strconv.Itoa(n) + `"`
+			pw.histogram("vela_worker_compute_seconds", "Expert compute time per worker.", lbl, h.Compute[n].Snapshot())
+		}
+		for n := range h.StragglerGap {
+			lbl := `worker="` + strconv.Itoa(n) + `"`
+			pw.histogram("vela_straggler_gap_seconds", "Slowest-worker-minus-this-worker gap per exchange round.", lbl, h.StragglerGap[n].Snapshot())
+		}
+		pw.histogram("vela_frame_bytes", "Encoded frame sizes.", `dir="tx"`, h.FrameTx.Snapshot())
+		pw.histogram("vela_frame_bytes", "", `dir="rx"`, h.FrameRx.Snapshot())
+
+		if drift := h.Drift.Drift(); drift != nil {
+			pw.header("vela_p_drift_l1", "gauge", "Per-layer L1 distance between EWMA routing estimate and placement-time P.")
+			for l, v := range drift {
+				pw.sample("vela_p_drift_l1", `layer="`+strconv.Itoa(l)+`"`, v)
+			}
+			pw.header("vela_p_drift_max_l1", "gauge", "Largest per-layer P drift (placement staleness signal).")
+			pw.sample("vela_p_drift_max_l1", "", h.Drift.MaxDrift())
+		}
+		if pred, meas := h.Drift.CommGauges(); pred > 0 || meas > 0 {
+			pw.header("vela_step_comm_seconds", "gauge", "Per-step expert-exchange communication time: placement objective prediction vs EWMA of measurement.")
+			pw.sample("vela_step_comm_seconds", `kind="predicted"`, pred)
+			pw.sample("vela_step_comm_seconds", `kind="measured"`, meas)
+		}
+	}
+
+	if s.Traffic != nil {
+		per := s.Traffic.Snapshot()
+		pw.header("vela_traffic_bytes_total", "counter", "Logical bytes exchanged with each worker.")
+		for n, t := range per {
+			lbl := `worker="` + strconv.Itoa(n) + `",direction="`
+			pw.sample("vela_traffic_bytes_total", lbl+`to_worker"`, float64(t.BytesToWorker))
+			pw.sample("vela_traffic_bytes_total", lbl+`from_worker"`, float64(t.BytesFromWorker))
+		}
+		pw.header("vela_traffic_tokens_total", "counter", "Token-copies exchanged with each worker.")
+		for n, t := range per {
+			lbl := `worker="` + strconv.Itoa(n) + `",direction="`
+			pw.sample("vela_traffic_tokens_total", lbl+`to_worker"`, float64(t.TokensToWorker))
+			pw.sample("vela_traffic_tokens_total", lbl+`from_worker"`, float64(t.TokensFromWorker))
+		}
+		pw.header("vela_traffic_messages_total", "counter", "Messages exchanged with each worker.")
+		for n, t := range per {
+			pw.sample("vela_traffic_messages_total", `worker="`+strconv.Itoa(n)+`"`, float64(t.Messages))
+		}
+	}
+
+	if s.Recovery != nil {
+		c := s.Recovery.Snapshot()
+		pw.header("vela_recovery_heartbeats_total", "counter", "Supervisor heartbeat probes by outcome.")
+		pw.sample("vela_recovery_heartbeats_total", `outcome="answered"`, float64(c.HeartbeatsSent-c.HeartbeatsMissed))
+		pw.sample("vela_recovery_heartbeats_total", `outcome="missed"`, float64(c.HeartbeatsMissed))
+		pw.counter("vela_recovery_recv_timeouts_total", "Reply deadlines that expired.", float64(c.RecvTimeouts))
+		pw.counter("vela_recovery_recv_retries_total", "Bounded in-round reply-wait retries.", float64(c.RecvRetries))
+		pw.counter("vela_recovery_stale_replies_total", "Replies from abandoned rounds discarded.", float64(c.StaleReplies))
+		pw.counter("vela_recovery_duplicate_replies_total", "Duplicate-Seq replies discarded.", float64(c.DuplicateReplies))
+		pw.counter("vela_recovery_step_retries_total", "Training steps re-driven after recovery.", float64(c.StepRetries))
+		pw.counter("vela_recovery_worker_failovers_total", "Workers declared dead and failed over.", float64(c.WorkerFailovers))
+		pw.counter("vela_recovery_experts_recovered_total", "Experts restored onto survivors from snapshots.", float64(c.ExpertsRecovered))
+		pw.counter("vela_recovery_snapshots_total", "Completed expert-state checkpoint pulls.", float64(c.Snapshots))
+	}
+
+	if s.Alive != nil {
+		alive := s.Alive()
+		pw.header("vela_worker_alive", "gauge", "Per-worker liveness from the supervisor's view (1=alive).")
+		up := 0
+		for n, ok := range alive {
+			v := 0.0
+			if ok {
+				v = 1
+				up++
+			}
+			pw.sample("vela_worker_alive", `worker="`+strconv.Itoa(n)+`"`, v)
+		}
+		pw.header("vela_workers_alive", "gauge", "Count of live workers.")
+		pw.sample("vela_workers_alive", "", float64(up))
+		pw.header("vela_workers_total", "gauge", "Size of the worker pool.")
+		pw.sample("vela_workers_total", "", float64(len(alive)))
+	}
+
+	return pw.err
+}
+
+// promWriter emits exposition lines, latching the first write error so
+// callers check once.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, typ, help string) {
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, help)
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %s\n", name, formatValue(v))
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+func (p *promWriter) counter(name, help string, v float64) {
+	p.header(name, "counter", help)
+	p.sample(name, "", v)
+}
+
+// histogram writes one histogram series in Prometheus convention:
+// cumulative _bucket samples with le labels (ending at +Inf), then _sum
+// and _count. An empty help suppresses the header (for subsequent label
+// sets of the same family).
+func (p *promWriter) histogram(name, help, labels string, s HistogramSnapshot) {
+	if help != "" {
+		p.header(name, "histogram", help)
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		p.printf("%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatValue(b), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	p.printf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	p.sample(name+"_sum", labels, s.Sum)
+	p.sample(name+"_count", labels, float64(s.Count))
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

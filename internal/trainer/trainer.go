@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/moe"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // PretrainConfig controls checkpoint manufacturing.
@@ -188,6 +189,12 @@ type Finetuner struct {
 	// boundaries. Its error aborts the run.
 	OnStep func(step int) error
 
+	// Obs, when non-nil, receives step boundaries and per-phase spans
+	// (forward, backward, optimizer; the broker records its own exchange
+	// spans); EndStep also folds the step's routing into the P-drift
+	// monitor.
+	Obs *obs.Handle
+
 	// Losses accumulates the per-step loss.
 	Losses metrics.Series
 }
@@ -228,10 +235,12 @@ func NewLocalFinetuner(m *moe.Model, exec *moe.LocalExecutor, b *data.Batcher) *
 // Step runs one fine-tuning step and returns its loss.
 func (f *Finetuner) Step() (float64, error) {
 	ids, targets := f.Batcher.Next()
+	f.Obs.StartStep(f.Losses.Len())
 	loss, err := f.step(ids, targets)
 	if err != nil {
 		return 0, err
 	}
+	f.Obs.EndStep()
 	f.Losses.Append(loss)
 	return loss, nil
 }
@@ -248,14 +257,21 @@ func (f *Finetuner) step(ids, targets []int) (float64, error) {
 		return 0, fmt.Errorf("trainer: expert zero-grad: %w", err)
 	}
 	batch, seqLen := f.Batcher.Shape()
+	fsp := f.Obs.Begin(obs.PhaseForward)
 	logits, err := f.Model.Forward(ids, batch, seqLen)
+	fsp.End()
 	if err != nil {
 		return 0, fmt.Errorf("trainer: forward: %w", err)
 	}
 	loss, dl := nn.CrossEntropy(logits, targets)
-	if err := f.Model.Backward(dl); err != nil {
+	bsp := f.Obs.Begin(obs.PhaseBackward)
+	err = f.Model.Backward(dl)
+	bsp.End()
+	if err != nil {
 		return 0, fmt.Errorf("trainer: backward: %w", err)
 	}
+	osp := f.Obs.Begin(obs.PhaseOptimizer)
+	defer osp.End()
 	if err := f.ExpertStep(); err != nil {
 		return 0, fmt.Errorf("trainer: expert step: %w", err)
 	}
@@ -271,6 +287,7 @@ func (f *Finetuner) step(ids, targets []int) (float64, error) {
 func (f *Finetuner) Run(steps int, hook Hook) error {
 	for s := 0; s < steps; s++ {
 		ids, targets := f.Batcher.Next()
+		f.Obs.StartStep(s)
 		var loss float64
 		var err error
 		for attempt := 0; ; attempt++ {
@@ -285,6 +302,7 @@ func (f *Finetuner) Run(steps int, hook Hook) error {
 				return fmt.Errorf("trainer: step %d: recovering from (%v): %w", s, err, rerr)
 			}
 		}
+		f.Obs.EndStep()
 		f.Losses.Append(loss)
 		if hook != nil {
 			hook(s, loss)

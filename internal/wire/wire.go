@@ -129,6 +129,23 @@ func (m *Message) PayloadFloats() int {
 	return n
 }
 
+// EncodedSize returns the full frame size (length prefix included) that
+// Encode would produce for m, without allocating. Observability hooks use
+// it to account frame bytes on the hot path; an invalid tensor geometry
+// (which Encode rejects) still yields the nominal size.
+func EncodedSize(m *Message) int {
+	body := 1 + 4 + 4 + 8 + 4 + len(m.Text) + 4
+	for _, t := range m.Tensors {
+		body += 9
+		if t.Half {
+			body += 2 * len(t.Data)
+		} else {
+			body += 8 * len(t.Data)
+		}
+	}
+	return 4 + body
+}
+
 // ErrFrameTooLarge guards against corrupted length prefixes.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
