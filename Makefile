@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-obs bench-all chaos check
+.PHONY: build test vet lint race bench bench-obs bench-all chaos shift check
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,14 @@ chaos:
 		-run 'Chaos|Fault|Failover|Supervisor|Repair|Recover|Dead|StepOrdinal|ExpertSnapshot' \
 		./internal/broker ./internal/transport ./internal/placement \
 		./internal/checkpoint ./internal/trainer ./internal/metrics
+
+# Re-placement acceptance run: the WikiText→Alpaca mid-run splice with
+# the drift-triggered controller live. Self-checking (fires exactly once
+# on the splice, placement within 10% of a fresh solve, baseline
+# re-anchored, loss trajectory untouched) and writes the measured
+# comm-bytes-per-step phases to BENCH_replace.json.
+shift:
+	$(GO) run ./examples/shift
 
 # Pre-merge gate: vet + velavet + full race-enabled test suite (the
 # race target covers internal/obs, so the tracer's striped ring and the

@@ -33,16 +33,19 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/placement"
+	"repro/internal/replace"
 	"repro/internal/trainer"
 	"repro/internal/transport"
 )
 
 // runOptions carries the fault-tolerance and observability knobs into run.
 type runOptions struct {
-	snapshotPath   string
-	heartbeat      time.Duration
-	requestTimeout time.Duration
-	metricsAddr    string
+	snapshotPath    string
+	heartbeat       time.Duration
+	requestTimeout  time.Duration
+	metricsAddr     string
+	replaceDrift    float64
+	replaceCooldown int
 }
 
 func main() {
@@ -57,12 +60,17 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "supervisor heartbeat interval (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-reply deadline on worker requests (0 disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090; empty disables)")
+	replaceDrift := flag.Float64("replace-drift", 0, "drift threshold arming the online re-placement controller (0 disables; e.g. 0.1)")
+	replaceCooldown := flag.Int("replace-cooldown", 0, "step boundaries the controller stays quiet after acting (0 = controller default)")
 	flag.Parse()
 
 	if *workers == "" {
 		log.Fatal("velamaster: -workers is required")
 	}
-	opts := runOptions{snapshotPath: *snapshotPath, heartbeat: *heartbeat, requestTimeout: *requestTimeout, metricsAddr: *metricsAddr}
+	opts := runOptions{
+		snapshotPath: *snapshotPath, heartbeat: *heartbeat, requestTimeout: *requestTimeout,
+		metricsAddr: *metricsAddr, replaceDrift: *replaceDrift, replaceCooldown: *replaceCooldown,
+	}
 	if err := run(strings.Split(*workers, ","), *devicesPerNode, *dataset, *strategy, *steps, *pretrainSteps, *ckptPath, opts); err != nil {
 		log.Fatalf("velamaster: %v", err)
 	}
@@ -193,11 +201,32 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 	// step-boundary expert snapshot, and fails dead workers over onto the
 	// survivors; the trainer just retries the interrupted step.
 	sup := broker.NewSupervisor(exec, prob, broker.SupervisorConfig{HeartbeatInterval: opts.heartbeat})
+	sup.Obs = handle
 	sup.OnFailover = func(dead []int, next *placement.Assignment) {
 		fmt.Printf("  failover: workers %v lost; experts re-placed over survivors\n", dead)
 	}
 	sup.Start()
 	defer sup.Stop()
+
+	// Online re-placement: when sustained routing drift leaves the solved
+	// placement stale, re-solve over the live estimate and migrate the
+	// experts between two steps.
+	var ctrl *replace.Controller
+	if opts.replaceDrift > 0 {
+		ctrl, err = replace.New(prob, handle, exec, replace.Config{
+			DriftThreshold: opts.replaceDrift,
+			CooldownSteps:  opts.replaceCooldown,
+			ExpertBytes:    spec.PayloadBytes(),
+		})
+		if err != nil {
+			return err
+		}
+		ctrl.OnReplace = func(step, moved int, savings, cost float64) {
+			fmt.Printf("  step %d: re-placed %d experts (predicted savings %.3gs/step, move cost %.3gs)\n",
+				step+1, moved, savings, cost)
+		}
+		fmt.Printf("re-placement controller armed (drift threshold %.3g)\n", opts.replaceDrift)
+	}
 
 	// SIGINT/SIGTERM finishes the in-flight step, flushes the final
 	// snapshot, and shuts the workers down cleanly.
@@ -227,8 +256,15 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		Obs:        handle,
 		Recover:    sup.Recover,
 		OnStep: func(step int) error {
+			// Snapshot before the controller may migrate, so a failover right
+			// after a migration restores post-migration state.
 			if err := sup.Checkpoint(step); err != nil {
 				return err
+			}
+			if ctrl != nil {
+				if err := ctrl.OnStep(step); err != nil {
+					return err
+				}
 			}
 			if stopRequested.Load() {
 				return errStopped

@@ -25,6 +25,20 @@ type ExpertSpec struct {
 	LoRAAlpha float64 // meaningful when LoRARank > 0
 }
 
+// PayloadBytes estimates the wire payload of one expert under this spec:
+// the three SwiGLU projection matrices plus, when LoRA is attached, an
+// A/B adapter pair per projection, all shipped as float64. This is the
+// per-move transfer size the re-placement controller's migration-cost
+// model uses (headers and the metadata row are negligible next to the
+// weight matrices and are ignored).
+func (s ExpertSpec) PayloadBytes() float64 {
+	values := 3 * s.D * s.Hidden
+	if s.LoRARank > 0 {
+		values += 3 * s.LoRARank * (s.D + s.Hidden)
+	}
+	return 8 * float64(values)
+}
+
 // encodeExpert serializes an expert into a MsgAssign message: a metadata
 // row followed by every parameter tensor in Params() order.
 func encodeExpert(e *moe.Expert, spec ExpertSpec) *wire.Message {

@@ -45,8 +45,12 @@ var ErrWorkerDead = errors.New("broker: worker marked dead")
 // An Executor is not safe for concurrent use: callers drive one exchange
 // or control round at a time, exactly as the training loop does.
 type Executor struct {
-	conns  []transport.Conn
-	assign *placement.Assignment
+	conns []transport.Conn
+	// assign is the active expert→worker placement, published by atomic
+	// pointer swap: migrations clone-and-swap (see Migrate) so the
+	// supervisor's goroutine and metrics scrapers can read Assignment()
+	// while a plan executes without ever observing a half-updated grid.
+	assign atomic.Pointer[placement.Assignment]
 	// Traffic, when non-nil, receives logical byte accounting
 	// (rows × features × BytesPerValue per transfer).
 	Traffic *metrics.Traffic
@@ -105,7 +109,8 @@ const DefaultMaxRecvRetries = 2
 // NewExecutor builds a master-side executor over per-worker connections
 // and an expert-to-worker assignment.
 func NewExecutor(conns []transport.Conn, assign *placement.Assignment) *Executor {
-	x := &Executor{conns: conns, assign: assign, BytesPerValue: 2}
+	x := &Executor{conns: conns, BytesPerValue: 2}
+	x.assign.Store(assign)
 	x.connSem = make([]chan struct{}, len(conns))
 	for i := range x.connSem {
 		x.connSem[i] = make(chan struct{}, 1)
@@ -142,14 +147,18 @@ func (x *Executor) DeadMask() []bool {
 }
 
 // SetAssignment swaps the placement (e.g. after re-solving); the caller
-// must re-distribute experts first.
-func (x *Executor) SetAssignment(a *placement.Assignment) { x.assign = a }
+// must re-distribute experts first. The swap is atomic, so concurrent
+// Assignment() readers see either the old or the new placement, never a
+// mixture.
+func (x *Executor) SetAssignment(a *placement.Assignment) { x.assign.Store(a) }
 
-// Assignment returns the active placement.
-func (x *Executor) Assignment() *placement.Assignment { return x.assign }
+// Assignment returns the active placement. The returned value is
+// immutable once published — runtime updates swap in a fresh clone — so
+// callers may read it without synchronization, but must not mutate it.
+func (x *Executor) Assignment() *placement.Assignment { return x.assign.Load() }
 
 // workerOf returns the worker hosting expert e of the given layer.
-func (x *Executor) workerOf(layer, e int) int { return x.assign.Worker[layer][e] }
+func (x *Executor) workerOf(layer, e int) int { return x.assign.Load().Worker[layer][e] }
 
 // window returns the effective per-worker in-flight request bound.
 func (x *Executor) window() int {
@@ -632,9 +641,10 @@ func (x *Executor) snapshotExpert(n, layer, e int) (*wire.Message, error) {
 // supervisor restores from when a worker dies. Live workers are queried
 // in parallel; the per-worker request streams are pipelined.
 func (x *Executor) SnapshotExperts(step int) (*checkpoint.ExpertSnapshot, error) {
+	assign := x.assign.Load()
 	type le struct{ l, e int }
 	perWorker := make(map[int][]le)
-	for l, row := range x.assign.Worker {
+	for l, row := range assign.Worker {
 		for e, n := range row {
 			perWorker[n] = append(perWorker[n], le{l, e})
 		}
@@ -675,7 +685,7 @@ func (x *Executor) SnapshotExperts(step int) (*checkpoint.ExpertSnapshot, error)
 		return nil, errs[0]
 	}
 	snap := &checkpoint.ExpertSnapshot{Step: step}
-	for l, row := range x.assign.Worker {
+	for l, row := range assign.Worker {
 		for e := range row {
 			tensors, ok := got[le{l, e}]
 			if !ok {

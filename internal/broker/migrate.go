@@ -70,7 +70,12 @@ func (x *Executor) Migrate(layer, e, dst int) error {
 	if err != nil {
 		return err
 	}
-	x.assign.Worker[layer][e] = dst
+	// Publish the flip via clone-and-swap: concurrent Assignment() readers
+	// (supervisor goroutine, metrics scrapers) see the old or the new grid
+	// atomically, never an in-place mutation.
+	next := x.assign.Load().Clone()
+	next.Worker[layer][e] = dst
+	x.assign.Store(next)
 	// Release the now-stale source copy. The migration has already taken
 	// effect; a release failure is surfaced but does not undo it.
 	err = x.pipelined(src, []*wire.Message{
@@ -91,26 +96,45 @@ func (x *Executor) Migrate(layer, e, dst int) error {
 // Rebalance migrates every expert whose worker differs between the
 // current and the new assignment — VELA's "manipulate the distribution of
 // expert layers at runtime". Returns the number of experts moved. The
-// executor's assignment is updated incrementally, so a mid-way failure
-// leaves a consistent (partially migrated) state.
+// migration plan is ordered so that a worker shedding experts sheds
+// before it receives (placement.OrderMoves with the pre/post loads as the
+// bound), so no destination transiently hosts more experts than either
+// layout gives it. The executor's assignment is updated incrementally
+// per move, so a mid-way failure leaves a consistent (partially
+// migrated) state.
 func (x *Executor) Rebalance(next *placement.Assignment) (int, error) {
-	if len(next.Worker) != len(x.assign.Worker) {
-		return 0, fmt.Errorf("broker: rebalance geometry mismatch")
+	cur := x.assign.Load()
+	moves, err := placement.Diff(cur, next)
+	if err != nil {
+		return 0, fmt.Errorf("broker: rebalance: %w", err)
 	}
+	plan := placement.OrderMoves(moves, cur.Loads(len(x.conns)), nil)
+	return x.ExecutePlan(plan)
+}
+
+// ExecutePlan executes an ordered migration plan move by move through the
+// snapshot-first Migrate path, returning how many experts actually moved.
+// Moves whose expert already sits on the destination are skipped; a move
+// whose source no longer matches the live assignment means the plan was
+// computed against a stale placement, and the plan aborts rather than
+// migrate on bad information. A mid-plan failure returns the move count
+// so far; the assignment stays consistent (each completed move was
+// published atomically).
+func (x *Executor) ExecutePlan(plan []placement.Move) (int, error) {
 	moved := 0
-	for l := range next.Worker {
-		if len(next.Worker[l]) != len(x.assign.Worker[l]) {
-			return moved, fmt.Errorf("broker: rebalance geometry mismatch at layer %d", l)
+	for _, m := range plan {
+		cur := x.assign.Load().Worker[m.Layer][m.Expert]
+		if cur == m.To {
+			continue
 		}
-		for e, dst := range next.Worker[l] {
-			if x.assign.Worker[l][e] == dst {
-				continue
-			}
-			if err := x.Migrate(l, e, dst); err != nil {
-				return moved, fmt.Errorf("broker: rebalancing L%d/E%d: %w", l, e, err)
-			}
-			moved++
+		if cur != m.From {
+			return moved, fmt.Errorf("broker: stale migration plan: L%d/E%d is on worker %d, plan expected %d",
+				m.Layer, m.Expert, cur, m.From)
 		}
+		if err := x.Migrate(m.Layer, m.Expert, m.To); err != nil {
+			return moved, fmt.Errorf("broker: migrating L%d/E%d: %w", m.Layer, m.Expert, err)
+		}
+		moved++
 	}
 	return moved, nil
 }

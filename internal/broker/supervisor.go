@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/transport"
 )
@@ -48,6 +49,11 @@ type Supervisor struct {
 	// Recovery receives heartbeat/failover counters; defaults to the
 	// executor's meter so all fault-tolerance counts land in one place.
 	Recovery *metrics.Recovery
+	// Obs, when non-nil, has its predicted-comm gauge refreshed after a
+	// failover: Repair changes the placement, so the objective value the
+	// drift monitor compares measurements against must follow it (the
+	// drift baseline itself stays — Repair re-places over the same P).
+	Obs *obs.Handle
 	// OnFailover, when non-nil, is invoked after a completed failover
 	// with the workers declared dead in this round and the repaired
 	// assignment (useful for logging and test assertions).
@@ -247,6 +253,11 @@ func (s *Supervisor) failover(newlyDead []int) error {
 		return err
 	}
 	s.exec.SetAssignment(next)
+	if s.Obs != nil {
+		if m, err := placement.Evaluate(s.prob, next); err == nil {
+			s.Obs.Drift.SetPredictedComm(m.CommTime)
+		}
+	}
 	s.Recovery.AddFailover(len(orphans))
 	if s.OnFailover != nil {
 		s.OnFailover(newlyDead, next)

@@ -25,9 +25,30 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/placement"
+	"repro/internal/replace"
 	"repro/internal/trainer"
 	"repro/internal/transport"
 )
+
+// DefaultBitDepth is the feature bit depth of the paper's fine-tuning
+// setup (16-bit activations). Every consumer of the cost model — the
+// placement objective's BytesPerToken, the executor's logical byte
+// accounting, and the re-placement controller — resolves through
+// resolveCostModel so they can never disagree on the default.
+const DefaultBitDepth = 16
+
+// resolveCostModel resolves the Options' cost-model parameters to their
+// effective values: the paper's batch·seqLen·topK routings per step and
+// DefaultBitDepth when unset.
+func resolveCostModel(routingsPerStep float64, bitDepth, topK int) (float64, int) {
+	if routingsPerStep <= 0 {
+		routingsPerStep = 8 * 224 * float64(topK)
+	}
+	if bitDepth == 0 {
+		bitDepth = DefaultBitDepth
+	}
+	return routingsPerStep, bitDepth
+}
 
 // Options configures Deploy.
 type Options struct {
@@ -70,6 +91,17 @@ type System struct {
 	// Obs is the deployment's observability handle (nil when Options.Obs
 	// was not set).
 	Obs *obs.Handle
+	// Problem is the placement problem the deployment solved (nil when
+	// DeployWithAssignment ran without Stats). Rebalance refreshes it;
+	// Supervisor and ReplaceController re-solve against it.
+	Problem *placement.Problem
+	// Spec is the deployed experts' wire architecture; its PayloadBytes
+	// feeds the re-placement controller's migration-cost model.
+	Spec broker.ExpertSpec
+	// RoutingsPerStep and BitDepth are the resolved cost-model
+	// parameters every later re-solve reuses.
+	RoutingsPerStep float64
+	BitDepth        int
 
 	deployment *broker.LocalDeployment
 	closed     bool
@@ -112,14 +144,7 @@ func Deploy(model *moe.Model, grid [][]*moe.Expert, opts Options) (*System, erro
 	if opts.Stats == nil {
 		return nil, fmt.Errorf("core: Options.Stats is required (run trainer.Profile first)")
 	}
-	routings := opts.RoutingsPerStep
-	if routings <= 0 {
-		routings = 8 * 224 * float64(cfg.TopK)
-	}
-	bitDepth := opts.BitDepth
-	if bitDepth == 0 {
-		bitDepth = 16
-	}
+	routings, bitDepth := resolveCostModel(opts.RoutingsPerStep, opts.BitDepth, cfg.TopK)
 	prob := PlacementProblem(opts.Topo, opts.Stats, routings, cfg.D, bitDepth)
 	assign, err := strategy.Place(prob)
 	if err != nil {
@@ -139,6 +164,7 @@ func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placem
 		// carries real per-worker compute histograms.
 		wcfg.Obs = opts.Obs
 	}
+	routings, bitDepth := resolveCostModel(opts.RoutingsPerStep, opts.BitDepth, model.Cfg.TopK)
 	dep := broker.StartLocalWorkers(opts.Topo.NumWorkers(), wcfg)
 	exec := broker.NewExecutor(dep.Conns, assign)
 	exec.Obs = opts.Obs
@@ -148,9 +174,10 @@ func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placem
 	}
 	traffic := metrics.NewTraffic(opts.Topo.NumWorkers(), crossNode)
 	exec.Traffic = traffic
-	if opts.BitDepth != 0 {
-		exec.BytesPerValue = float64(opts.BitDepth) / 8
-	}
+	// One resolved bit depth drives both the traffic accounting and the
+	// placement objective (previously the executor silently kept its own
+	// 16-bit default while the objective resolved independently).
+	exec.BytesPerValue = float64(bitDepth) / 8
 	spec := broker.ExpertSpec{
 		D: model.Cfg.D, Hidden: model.Cfg.Hidden,
 		LoRARank: opts.LoRA.Rank, LoRAAlpha: opts.LoRA.Alpha,
@@ -160,34 +187,33 @@ func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placem
 		return nil, fmt.Errorf("core: distributing experts: %w", err)
 	}
 	model.SetExecutor(exec)
+	var prob *placement.Problem
+	if opts.Stats != nil {
+		prob = PlacementProblem(opts.Topo, opts.Stats, routings, model.Cfg.D, bitDepth)
+	}
 	if opts.Obs != nil {
 		model.SetObs(opts.Obs)
-		if opts.Stats != nil {
+		if prob != nil {
 			// The placement-time P is the drift baseline; the objective's
 			// value for this assignment is the predicted comm gauge.
-			opts.Obs.Drift.SetBaseline(opts.Stats.Prob())
-			routings := opts.RoutingsPerStep
-			if routings <= 0 {
-				routings = 8 * 224 * float64(model.Cfg.TopK)
-			}
-			bitDepth := opts.BitDepth
-			if bitDepth == 0 {
-				bitDepth = 16
-			}
-			prob := PlacementProblem(opts.Topo, opts.Stats, routings, model.Cfg.D, bitDepth)
+			opts.Obs.Drift.SetBaseline(prob.P)
 			if m, err := placement.Evaluate(prob, assign); err == nil {
 				opts.Obs.Drift.SetPredictedComm(m.CommTime)
 			}
 		}
 	}
 	return &System{
-		Model:      model,
-		Topo:       opts.Topo,
-		Assignment: assign,
-		Exec:       exec,
-		Traffic:    traffic,
-		Obs:        opts.Obs,
-		deployment: dep,
+		Model:           model,
+		Topo:            opts.Topo,
+		Assignment:      assign,
+		Exec:            exec,
+		Traffic:         traffic,
+		Obs:             opts.Obs,
+		Problem:         prob,
+		Spec:            spec,
+		RoutingsPerStep: routings,
+		BitDepth:        bitDepth,
+		deployment:      dep,
 	}, nil
 }
 
@@ -250,11 +276,24 @@ func (s *System) Close() error {
 // migrates every expert whose optimal worker changed — VELA's runtime
 // flexibility. It returns the number of experts moved. Expert optimizer
 // moments do not travel with the weights (Adam state restarts on the new
-// host).
+// host). Zero routingsPerStep/bitDepth reuse the deployment's resolved
+// values.
+//
+// After a successful rebalance the drift monitor is re-anchored: the
+// fresh stats become the baseline (the placement now reflects them, so
+// accumulated drift is stale) and the predicted-comm gauge becomes the
+// new assignment's objective value.
 func (s *System) Rebalance(stats *moe.AccessStats, strategy placement.Strategy, routingsPerStep float64, bitDepth int) (int, error) {
 	if strategy == nil {
 		strategy = placement.LocalityLP{}
 	}
+	if routingsPerStep <= 0 {
+		routingsPerStep = s.RoutingsPerStep
+	}
+	if bitDepth == 0 {
+		bitDepth = s.BitDepth
+	}
+	routingsPerStep, bitDepth = resolveCostModel(routingsPerStep, bitDepth, s.Model.Cfg.TopK)
 	prob := PlacementProblem(s.Topo, stats, routingsPerStep, s.Model.Cfg.D, bitDepth)
 	next, err := strategy.Place(prob)
 	if err != nil {
@@ -265,5 +304,40 @@ func (s *System) Rebalance(stats *moe.AccessStats, strategy placement.Strategy, 
 		return moved, fmt.Errorf("core: rebalance migration: %w", err)
 	}
 	s.Assignment = s.Exec.Assignment()
+	s.Problem = prob
+	if s.Obs != nil {
+		s.Obs.Drift.SetBaseline(prob.P)
+		if m, err := placement.Evaluate(prob, s.Assignment); err == nil {
+			s.Obs.Drift.SetPredictedComm(m.CommTime)
+		}
+	}
 	return moved, nil
+}
+
+// Supervisor builds the system's failure handler, wired to re-solve
+// against the deployment's placement problem and to refresh the obs
+// predicted-comm gauge after a failover.
+func (s *System) Supervisor(cfg broker.SupervisorConfig) (*broker.Supervisor, error) {
+	if s.Problem == nil {
+		return nil, fmt.Errorf("core: supervisor needs the deployment's placement problem (Deploy with Options.Stats)")
+	}
+	sup := broker.NewSupervisor(s.Exec, s.Problem, cfg)
+	sup.Obs = s.Obs
+	return sup, nil
+}
+
+// ReplaceController builds the online re-placement controller over this
+// deployment: it watches the system's drift monitor and, via the
+// executor, migrates experts live when the placement goes stale. An
+// unset ExpertBytes defaults to the deployed expert spec's wire payload.
+// Wire its OnStep after the supervisor's Checkpoint in the trainer's
+// step hook, so every migration is preceded by a fresh snapshot.
+func (s *System) ReplaceController(cfg replace.Config) (*replace.Controller, error) {
+	if s.Problem == nil {
+		return nil, fmt.Errorf("core: re-placement controller needs the deployment's placement problem (Deploy with Options.Stats)")
+	}
+	if cfg.ExpertBytes <= 0 {
+		cfg.ExpertBytes = s.Spec.PayloadBytes()
+	}
+	return replace.New(s.Problem, s.Obs, s.Exec, cfg)
 }

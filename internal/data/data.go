@@ -186,3 +186,49 @@ func (b *Batcher) Next() (ids, targets []int) {
 	}
 	return ids, targets
 }
+
+// Source is the batch interface SwitchBatcher composes over; it matches
+// trainer.BatchSource structurally (data cannot import trainer).
+type Source interface {
+	Next() (ids, targets []int)
+	Shape() (batch, seqLen int)
+}
+
+// SwitchBatcher serves batches from one source and splices to another
+// after a fixed number of batches — the mid-run distribution shift
+// (e.g. WikiText → Alpaca) that examples/shift uses to exercise the
+// drift-triggered re-placement controller.
+type SwitchBatcher struct {
+	before, after Source
+	switchAt      int
+	served        int
+}
+
+// NewSwitchBatcher splices from `before` to `after` once switchAt batches
+// have been served. Both sources must share one batch geometry.
+func NewSwitchBatcher(before, after Source, switchAt int) *SwitchBatcher {
+	b1, s1 := before.Shape()
+	b2, s2 := after.Shape()
+	if b1 != b2 || s1 != s2 {
+		//velavet:allow panicpolicy -- constructor precondition on caller-chosen geometry, like NewBatcher's corpus/seqLen check
+		panic("data: switch batcher sources disagree on batch geometry")
+	}
+	return &SwitchBatcher{before: before, after: after, switchAt: switchAt}
+}
+
+// Shape implements the batch-source interface.
+func (s *SwitchBatcher) Shape() (batch, seqLen int) { return s.before.Shape() }
+
+// Next serves the next batch, splicing to the after-source once switchAt
+// batches have been drawn.
+func (s *SwitchBatcher) Next() (ids, targets []int) {
+	src := s.before
+	if s.served >= s.switchAt {
+		src = s.after
+	}
+	s.served++
+	return src.Next()
+}
+
+// Switched reports whether the splice has happened.
+func (s *SwitchBatcher) Switched() bool { return s.served > s.switchAt }

@@ -132,3 +132,46 @@ func TestBatcherPanicsOnTinyCorpus(t *testing.T) {
 	}()
 	NewBatcher(&Corpus{Tokens: []int{1, 2}}, 1, 8, 1)
 }
+
+// stubSource emits a constant token so the consuming batch is
+// attributable to its source.
+type stubSource struct{ tok, batch, seqLen int }
+
+func (s stubSource) Shape() (int, int) { return s.batch, s.seqLen }
+func (s stubSource) Next() (ids, targets []int) {
+	n := s.batch * s.seqLen
+	ids, targets = make([]int, n), make([]int, n)
+	for i := range ids {
+		ids[i], targets[i] = s.tok, s.tok
+	}
+	return ids, targets
+}
+
+func TestSwitchBatcherSplicesAtStep(t *testing.T) {
+	sb := NewSwitchBatcher(stubSource{tok: 1, batch: 2, seqLen: 4}, stubSource{tok: 2, batch: 2, seqLen: 4}, 3)
+	if b, s := sb.Shape(); b != 2 || s != 4 {
+		t.Fatalf("shape = %d×%d", b, s)
+	}
+	for i := 0; i < 6; i++ {
+		want := 1
+		if i >= 3 {
+			want = 2
+		}
+		ids, targets := sb.Next()
+		if len(ids) != 8 || ids[0] != want || targets[0] != want {
+			t.Fatalf("batch %d: got token %d, want %d", i, ids[0], want)
+		}
+		if switched := sb.Switched(); switched != (i >= 3) {
+			t.Fatalf("batch %d: Switched() = %v", i, switched)
+		}
+	}
+}
+
+func TestSwitchBatcherRejectsShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSwitchBatcher(stubSource{batch: 2, seqLen: 4}, stubSource{batch: 2, seqLen: 8}, 1)
+}

@@ -38,6 +38,13 @@ func populatedSource() Source {
 	h.RecordRouting(1, [][]int{{2, 2}})
 	h.EndStep()
 
+	h.Replace.AddCheck()
+	h.Replace.AddTrigger()
+	h.Replace.AddMigration(7, 3)
+	h.Replace.AddCostSkip()
+	h.Replace.SetCooldown(5)
+	h.Replace.SetDecision(0.004, 0.12)
+
 	tr := metrics.NewTraffic(2, []bool{false, true})
 	tr.AddToWorker(0, 64, 2048)
 	tr.AddFromWorker(1, 64, 1024)
@@ -133,12 +140,18 @@ func TestMetricsEndpointIsValidPrometheusText(t *testing.T) {
 	for _, fam := range []string{
 		"vela_traffic_bytes_total", "vela_recovery_heartbeats_total",
 		"vela_recovery_worker_failovers_total", "vela_steps_total",
+		"vela_replace_checks_total", "vela_replace_triggers_total",
+		"vela_replace_migrations_total", "vela_replace_moves_total",
+		"vela_replace_cost_skips_total",
 	} {
 		if typed[fam] != "counter" {
 			t.Fatalf("family %s: TYPE %q, want counter", fam, typed[fam])
 		}
 	}
-	for _, fam := range []string{"vela_p_drift_l1", "vela_p_drift_max_l1", "vela_step_comm_seconds", "vela_worker_alive"} {
+	for _, fam := range []string{
+		"vela_p_drift_l1", "vela_p_drift_max_l1", "vela_step_comm_seconds", "vela_worker_alive",
+		"vela_replace_cooldown_steps", "vela_replace_last_migration_step", "vela_replace_decision_seconds",
+	} {
 		if typed[fam] != "gauge" {
 			t.Fatalf("family %s: TYPE %q, want gauge", fam, typed[fam])
 		}

@@ -82,6 +82,9 @@ type Handle struct {
 	Trace *Tracer
 	// Drift is the placement-fidelity monitor.
 	Drift *DriftMonitor
+	// Replace is the re-placement controller's counters (zero-valued until
+	// a controller is wired; always scrapeable).
+	Replace *ReplaceStats
 
 	// Per-worker histograms, indexed by worker ID. Hooks with an
 	// out-of-range worker index are dropped (a worker-side handle sized
@@ -130,6 +133,7 @@ func NewHandle(cfg Config) *Handle {
 	h := &Handle{
 		Trace:     NewTracer(cfg.TraceCapacity),
 		Drift:     NewDriftMonitor(cfg.Layers, cfg.Experts, cfg.DriftAlpha),
+		Replace:   NewReplaceStats(),
 		QueueWait: NewHistogram(LatencyBounds()),
 		FrameTx:   NewHistogram(SizeBounds()),
 		FrameRx:   NewHistogram(SizeBounds()),
@@ -426,6 +430,21 @@ func (h *Handle) WriteBreakdown(w io.Writer) error {
 			predStr = fmt.Sprintf("%.6fs", pred)
 		}
 		if _, err := fmt.Fprintf(w, "step comm time: predicted %s, measured %.6fs\n", predStr, meas); err != nil {
+			return err
+		}
+	}
+	if r := h.Replace.Snapshot(); r.Checks > 0 {
+		if _, err := fmt.Fprintf(w, "re-placement controller: %d checks, %d triggers, %d migrations (%d experts moved), %d cost skips",
+			r.Checks, r.Triggers, r.Migrations, r.Moves, r.CostSkips); err != nil {
+			return err
+		}
+		if r.LastStep >= 0 {
+			if _, err := fmt.Fprintf(w, "; last at step %d (savings %.6fs/step vs move cost %.6fs)",
+				r.LastStep, r.Savings, r.MoveCost); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
 	}

@@ -75,6 +75,20 @@ func WriteMetrics(w io.Writer, s Source) error {
 			pw.sample("vela_step_comm_seconds", `kind="predicted"`, pred)
 			pw.sample("vela_step_comm_seconds", `kind="measured"`, meas)
 		}
+		if r := h.Replace.Snapshot(); r.Checks > 0 {
+			pw.counter("vela_replace_checks_total", "Re-placement controller step-boundary signal evaluations.", float64(r.Checks))
+			pw.counter("vela_replace_triggers_total", "Hysteresis-confirmed triggers (placement re-solved).", float64(r.Triggers))
+			pw.counter("vela_replace_migrations_total", "Executed live migration plans.", float64(r.Migrations))
+			pw.counter("vela_replace_moves_total", "Experts moved across all executed plans.", float64(r.Moves))
+			pw.counter("vela_replace_cost_skips_total", "Re-solves discarded because predicted savings did not cover the migration cost.", float64(r.CostSkips))
+			pw.header("vela_replace_cooldown_steps", "gauge", "Steps of post-migration cooldown remaining.")
+			pw.sample("vela_replace_cooldown_steps", "", float64(r.Cooldown))
+			pw.header("vela_replace_last_migration_step", "gauge", "Step of the last executed migration (-1 before the first).")
+			pw.sample("vela_replace_last_migration_step", "", float64(r.LastStep))
+			pw.header("vela_replace_decision_seconds", "gauge", "Latest re-solve economics: predicted comm savings per step vs one-time migration cost.")
+			pw.sample("vela_replace_decision_seconds", `kind="savings_per_step"`, r.Savings)
+			pw.sample("vela_replace_decision_seconds", `kind="move_cost"`, r.MoveCost)
+		}
 	}
 
 	if s.Traffic != nil {

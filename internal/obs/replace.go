@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// ReplaceStats is the re-placement controller's instrumentation: counters
+// over the signal → decision → plan → execution pipeline and gauges of
+// the latest decision's inputs. All methods are atomic, allocation-free,
+// and nil-receiver-safe, matching the rest of the obs layer; the
+// controller runs on the training goroutine but scrapes read concurrently.
+type ReplaceStats struct {
+	checks     atomic.Uint64 // step-boundary signal evaluations
+	triggers   atomic.Uint64 // hysteresis satisfied → re-solve attempted
+	migrations atomic.Uint64 // executed migration plans
+	moves      atomic.Uint64 // experts moved across all plans
+	costSkips  atomic.Uint64 // re-solves discarded by the migration-cost gate
+
+	cooldown     atomic.Int64  // steps of cooldown remaining
+	lastStep     atomic.Int64  // step of the last executed migration (-1 before)
+	lastSavings  atomic.Uint64 // float64 bits: predicted comm savings/step of last re-solve
+	lastMoveCost atomic.Uint64 // float64 bits: estimated one-time move cost of last re-solve
+}
+
+// NewReplaceStats returns a fresh stats block with lastStep = -1
+// ("never migrated").
+func NewReplaceStats() *ReplaceStats {
+	r := &ReplaceStats{}
+	r.lastStep.Store(-1)
+	return r
+}
+
+// AddCheck counts one step-boundary signal evaluation.
+func (r *ReplaceStats) AddCheck() {
+	if r == nil {
+		return
+	}
+	r.checks.Add(1)
+}
+
+// AddTrigger counts one hysteresis-confirmed trigger (a re-solve ran).
+func (r *ReplaceStats) AddTrigger() {
+	if r == nil {
+		return
+	}
+	r.triggers.Add(1)
+}
+
+// AddMigration records an executed plan of n expert moves finishing at
+// the given step.
+func (r *ReplaceStats) AddMigration(step, n int) {
+	if r == nil {
+		return
+	}
+	r.migrations.Add(1)
+	r.moves.Add(uint64(n))
+	r.lastStep.Store(int64(step))
+}
+
+// AddCostSkip counts a re-solve whose plan the cost gate discarded.
+func (r *ReplaceStats) AddCostSkip() {
+	if r == nil {
+		return
+	}
+	r.costSkips.Add(1)
+}
+
+// SetCooldown publishes the remaining cooldown steps.
+func (r *ReplaceStats) SetCooldown(steps int) {
+	if r == nil {
+		return
+	}
+	r.cooldown.Store(int64(steps))
+}
+
+// SetDecision publishes the latest re-solve's economics: predicted comm
+// savings per step and the one-time migration cost, both in seconds.
+func (r *ReplaceStats) SetDecision(savings, moveCost float64) {
+	if r == nil {
+		return
+	}
+	r.lastSavings.Store(math.Float64bits(savings))
+	r.lastMoveCost.Store(math.Float64bits(moveCost))
+}
+
+// ReplaceSnapshot is a consistent-enough read of the stats for scrapes
+// and exit reports.
+type ReplaceSnapshot struct {
+	Checks     uint64
+	Triggers   uint64
+	Migrations uint64
+	Moves      uint64
+	CostSkips  uint64
+	Cooldown   int64
+	LastStep   int64
+	Savings    float64
+	MoveCost   float64
+}
+
+// Snapshot reads every counter and gauge. A nil receiver yields zeros
+// with LastStep = -1.
+func (r *ReplaceStats) Snapshot() ReplaceSnapshot {
+	if r == nil {
+		return ReplaceSnapshot{LastStep: -1}
+	}
+	return ReplaceSnapshot{
+		Checks:     r.checks.Load(),
+		Triggers:   r.triggers.Load(),
+		Migrations: r.migrations.Load(),
+		Moves:      r.moves.Load(),
+		CostSkips:  r.costSkips.Load(),
+		Cooldown:   r.cooldown.Load(),
+		LastStep:   r.lastStep.Load(),
+		Savings:    math.Float64frombits(r.lastSavings.Load()),
+		MoveCost:   math.Float64frombits(r.lastMoveCost.Load()),
+	}
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestReplaceStatsSnapshot pins the counter/gauge round-trip.
+func TestReplaceStatsSnapshot(t *testing.T) {
+	r := NewReplaceStats()
+	if s := r.Snapshot(); s.LastStep != -1 {
+		t.Fatalf("fresh LastStep = %d, want -1", s.LastStep)
+	}
+	r.AddCheck()
+	r.AddCheck()
+	r.AddTrigger()
+	r.AddMigration(12, 4)
+	r.AddCostSkip()
+	r.SetCooldown(8)
+	r.SetDecision(0.003, 0.25)
+
+	s := r.Snapshot()
+	if s.Checks != 2 || s.Triggers != 1 || s.Migrations != 1 || s.Moves != 4 || s.CostSkips != 1 {
+		t.Fatalf("counters = %+v", s)
+	}
+	if s.Cooldown != 8 || s.LastStep != 12 {
+		t.Fatalf("gauges = %+v", s)
+	}
+	if !testutil.BitEqual(s.Savings, 0.003) || !testutil.BitEqual(s.MoveCost, 0.25) {
+		t.Fatalf("decision gauges = %v / %v", s.Savings, s.MoveCost)
+	}
+}
+
+// TestReplaceStatsNilSafe: every hook must be a no-op on a nil receiver,
+// like the rest of the obs layer.
+func TestReplaceStatsNilSafe(t *testing.T) {
+	var r *ReplaceStats
+	r.AddCheck()
+	r.AddTrigger()
+	r.AddMigration(1, 1)
+	r.AddCostSkip()
+	r.SetCooldown(1)
+	r.SetDecision(1, 1)
+	if s := r.Snapshot(); s.Checks != 0 || s.LastStep != -1 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}

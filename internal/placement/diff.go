@@ -1,0 +1,129 @@
+package placement
+
+import "fmt"
+
+// Move is one step of a migration plan: expert (Layer, Expert) leaves
+// worker From and lands on worker To.
+type Move struct {
+	Layer, Expert int
+	From, To      int
+}
+
+// Clone deep-copies an assignment. Runtime code that publishes
+// assignments through an atomic pointer mutates a clone and swaps it in,
+// so concurrent readers never observe a half-updated grid.
+func (a *Assignment) Clone() *Assignment {
+	if a == nil {
+		return nil
+	}
+	c := &Assignment{Worker: make([][]int, len(a.Worker))}
+	for l, row := range a.Worker {
+		c.Worker[l] = append([]int(nil), row...)
+	}
+	return c
+}
+
+// Diff lists every expert whose worker differs between old and next, in
+// grid order. It is the raw (unordered) migration plan from one placement
+// to another.
+func Diff(old, next *Assignment) ([]Move, error) {
+	if len(next.Worker) != len(old.Worker) {
+		return nil, fmt.Errorf("placement: diff geometry mismatch: %d vs %d layers", len(old.Worker), len(next.Worker))
+	}
+	var moves []Move
+	for l := range next.Worker {
+		if len(next.Worker[l]) != len(old.Worker[l]) {
+			return nil, fmt.Errorf("placement: diff geometry mismatch at layer %d", l)
+		}
+		for e, to := range next.Worker[l] {
+			if from := old.Worker[l][e]; from != to {
+				moves = append(moves, Move{Layer: l, Expert: e, From: from, To: to})
+			}
+		}
+	}
+	return moves, nil
+}
+
+// OrderMoves orders a migration plan so that, after every completed move,
+// no worker's expert count exceeds its capacity: a worker that both gives
+// and receives experts gives first whenever its capacity is tight. loads
+// is the per-worker expert count under the *current* (pre-plan)
+// assignment; capacity may be nil, in which case each worker's bound is
+// max(current load, post-plan load) — i.e. no transient above either
+// endpoint of the plan.
+//
+// A plan whose saturated workers trade experts in a cycle admits no such
+// order; the cycle is broken at the move with the least-loaded
+// destination, accepting a transient one-expert overshoot there (the
+// executor's snapshot-first Migrate briefly double-hosts a moving expert
+// anyway).
+func OrderMoves(moves []Move, loads, capacity []int) []Move {
+	if len(moves) <= 1 {
+		return append([]Move(nil), moves...)
+	}
+	load := append([]int(nil), loads...)
+	bound := capacity
+	if bound == nil {
+		// Bound each worker by the larger of its pre- and post-plan load.
+		final := append([]int(nil), loads...)
+		for _, m := range moves {
+			final[m.From]--
+			final[m.To]++
+		}
+		bound = make([]int, len(loads))
+		for n := range bound {
+			bound[n] = load[n]
+			if final[n] > bound[n] {
+				bound[n] = final[n]
+			}
+		}
+	}
+	pending := append([]Move(nil), moves...)
+	plan := make([]Move, 0, len(moves))
+	for len(pending) > 0 {
+		picked := -1
+		for i, m := range pending {
+			if load[m.To] < bound[m.To] {
+				picked = i
+				break
+			}
+		}
+		if picked == -1 {
+			// Saturated cycle: break at the destination with the most
+			// headroom relative to its load (deterministic first-min).
+			best := 0
+			for i := 1; i < len(pending); i++ {
+				if load[pending[i].To]-bound[pending[i].To] < load[pending[best].To]-bound[pending[best].To] {
+					best = i
+				}
+			}
+			picked = best
+		}
+		m := pending[picked]
+		plan = append(plan, m)
+		load[m.From]--
+		load[m.To]++
+		pending = append(pending[:picked], pending[picked+1:]...)
+	}
+	return plan
+}
+
+// MoveCostSeconds estimates the wall-clock cost of executing a migration
+// plan under the problem's bandwidth model. Each move ships the expert
+// payload twice — source worker → master (snapshot) and master →
+// destination (assign) — so its cost is expertBytes/B_from +
+// expertBytes/B_to. The release round-trip carries no payload and is
+// ignored. This is the cost term the re-placement controller amortizes
+// against the predicted per-step communication savings.
+func MoveCostSeconds(p *Problem, moves []Move, expertBytes float64) float64 {
+	var sec float64
+	for _, m := range moves {
+		if m.From >= 0 && m.From < len(p.Bandwidth) {
+			sec += expertBytes / p.Bandwidth[m.From]
+		}
+		if m.To >= 0 && m.To < len(p.Bandwidth) {
+			sec += expertBytes / p.Bandwidth[m.To]
+		}
+	}
+	return sec
+}

@@ -1,0 +1,161 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func mkAssign(rows ...[]int) *Assignment {
+	a := &Assignment{}
+	for _, r := range rows {
+		a.Worker = append(a.Worker, append([]int(nil), r...))
+	}
+	return a
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := mkAssign([]int{0, 1}, []int{1, 0})
+	c := a.Clone()
+	c.Worker[1][0] = 9
+	if a.Worker[1][0] != 1 {
+		t.Fatal("Clone aliases the original grid")
+	}
+	if (*Assignment)(nil).Clone() != nil {
+		t.Fatal("nil Clone should stay nil")
+	}
+}
+
+func TestDiffListsOnlyChangedExperts(t *testing.T) {
+	old := mkAssign([]int{0, 1, 2}, []int{2, 1, 0})
+	next := mkAssign([]int{0, 2, 2}, []int{0, 1, 0})
+	moves, err := Diff(old, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Move{
+		{Layer: 0, Expert: 1, From: 1, To: 2},
+		{Layer: 1, Expert: 0, From: 2, To: 0},
+	}
+	if len(moves) != len(want) {
+		t.Fatalf("got %d moves, want %d: %v", len(moves), len(want), moves)
+	}
+	for i := range want {
+		if moves[i] != want[i] {
+			t.Fatalf("move %d = %+v, want %+v", i, moves[i], want[i])
+		}
+	}
+	if same, err := Diff(old, old); err != nil || len(same) != 0 {
+		t.Fatalf("self-diff should be empty, got %v (%v)", same, err)
+	}
+}
+
+func TestDiffRejectsGeometryMismatch(t *testing.T) {
+	if _, err := Diff(mkAssign([]int{0}), mkAssign([]int{0}, []int{0})); err == nil {
+		t.Fatal("layer-count mismatch not rejected")
+	}
+	if _, err := Diff(mkAssign([]int{0, 1}), mkAssign([]int{0})); err == nil {
+		t.Fatal("expert-count mismatch not rejected")
+	}
+}
+
+// simulate replays a plan and returns the highest load any worker reached
+// after a completed move.
+func simulate(t *testing.T, plan []Move, loads []int) []int {
+	t.Helper()
+	load := append([]int(nil), loads...)
+	peak := append([]int(nil), loads...)
+	for _, m := range plan {
+		load[m.From]--
+		load[m.To]++
+		for n := range load {
+			if load[n] > peak[n] {
+				peak[n] = load[n]
+			}
+		}
+	}
+	return peak
+}
+
+// TestOrderMovesRespectsCapacity: a worker at capacity that both gives
+// and receives must give first; raw grid order would overfill it.
+func TestOrderMovesRespectsCapacity(t *testing.T) {
+	// Worker 0 and 1 both at capacity 2; the plan swaps one expert each
+	// way plus drains one to worker 2. Grid order executes 0→1 first,
+	// overfilling worker 1.
+	loads := []int{2, 2, 0}
+	capacity := []int{2, 2, 2}
+	moves := []Move{
+		{Layer: 0, Expert: 0, From: 0, To: 1},
+		{Layer: 0, Expert: 2, From: 1, To: 2},
+		{Layer: 0, Expert: 3, From: 1, To: 0},
+	}
+	plan := OrderMoves(moves, loads, capacity)
+	if len(plan) != len(moves) {
+		t.Fatalf("plan lost moves: %v", plan)
+	}
+	peak := simulate(t, plan, loads)
+	for n, p := range peak {
+		if p > capacity[n] {
+			t.Fatalf("worker %d peaked at %d > capacity %d (plan %v)", n, p, capacity[n], plan)
+		}
+	}
+}
+
+// TestOrderMovesNilCapacity: with no explicit capacity, no worker may
+// transiently exceed both its pre- and post-plan load.
+func TestOrderMovesNilCapacity(t *testing.T) {
+	loads := []int{3, 1, 0}
+	moves := []Move{
+		{Layer: 0, Expert: 0, From: 0, To: 1},
+		{Layer: 0, Expert: 1, From: 1, To: 2},
+		{Layer: 1, Expert: 0, From: 0, To: 2},
+	}
+	plan := OrderMoves(moves, loads, nil)
+	peak := simulate(t, plan, loads)
+	final := []int{1, 1, 2}
+	for n, p := range peak {
+		bound := loads[n]
+		if final[n] > bound {
+			bound = final[n]
+		}
+		if p > bound {
+			t.Fatalf("worker %d peaked at %d > bound %d (plan %v)", n, p, bound, plan)
+		}
+	}
+}
+
+// TestOrderMovesBreaksSaturatedCycle: two full workers swapping experts
+// admit no overshoot-free order; the plan must still complete with at
+// most a one-expert transient.
+func TestOrderMovesBreaksSaturatedCycle(t *testing.T) {
+	loads := []int{1, 1}
+	capacity := []int{1, 1}
+	moves := []Move{
+		{Layer: 0, Expert: 0, From: 0, To: 1},
+		{Layer: 0, Expert: 1, From: 1, To: 0},
+	}
+	plan := OrderMoves(moves, loads, capacity)
+	if len(plan) != 2 {
+		t.Fatalf("cycle plan lost moves: %v", plan)
+	}
+	peak := simulate(t, plan, loads)
+	for n, p := range peak {
+		if p > capacity[n]+1 {
+			t.Fatalf("cycle break overshot by more than one on worker %d: %d", n, p)
+		}
+	}
+}
+
+func TestMoveCostSeconds(t *testing.T) {
+	p := &Problem{Bandwidth: []float64{100, 50}}
+	moves := []Move{{Layer: 0, Expert: 0, From: 0, To: 1}}
+	got := MoveCostSeconds(p, moves, 200)
+	want := 200.0/100 + 200.0/50 // snapshot leg + assign leg
+	if !testutil.BitEqual(got, want) {
+		t.Fatalf("MoveCostSeconds = %v, want %v", got, want)
+	}
+	if !testutil.BitEqual(MoveCostSeconds(p, nil, 200), 0) {
+		t.Fatal("empty plan should cost nothing")
+	}
+}

@@ -1,0 +1,315 @@
+// Package replace closes VELA's placement loop at runtime: an online
+// re-placement controller that watches the observability layer's
+// staleness signals (P̂ drift and the predicted-vs-measured communication
+// gap) at every step boundary and, when the signal persists, re-solves
+// the placement over the live routing estimate and migrates experts to
+// the new layout through the broker's snapshot-first migration path —
+// without pausing training.
+//
+// The controller is deliberately conservative about acting:
+//
+//   - Hysteresis: the signal must stay over threshold for K consecutive
+//     step boundaries before a re-solve runs, so transient routing spikes
+//     (one unusual batch) never trigger a migration.
+//   - Cooldown: after any decision that consumed a re-solve — a
+//     migration, an empty diff, or a cost-gated skip — the controller
+//     sleeps for M steps. Re-placements cannot thrash back and forth.
+//   - Migration-cost gate: a re-solve's plan only executes when the
+//     predicted communication savings, amortized over AmortizeSteps,
+//     exceed the one-time cost of moving the experts.
+//
+// The pipeline per decision is signal → decision → plan → execution:
+// read MaxDrift/CommGauges, re-solve over P̂ with dead workers' capacity
+// zeroed, diff the assignments and order the moves capacity-safely, and
+// execute the plan at the step boundary. After a migration the drift
+// baseline and the predicted-comm gauge are re-anchored to the new
+// placement, so the staleness signal measures the NEW layout's fidelity.
+package replace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/placement"
+)
+
+// Migrator is the slice of the broker executor the controller drives.
+// *broker.Executor satisfies it.
+type Migrator interface {
+	// Assignment returns the live expert→worker placement.
+	Assignment() *placement.Assignment
+	// ExecutePlan runs an ordered migration plan, returning how many
+	// experts actually moved.
+	ExecutePlan(plan []placement.Move) (int, error)
+	// DeadMask reports which workers have been declared dead.
+	DeadMask() []bool
+}
+
+// Config tunes the controller. The zero value disables both signals;
+// SetDefaults fills the structural knobs.
+type Config struct {
+	// DriftThreshold triggers on DriftMonitor.MaxDrift() — the largest
+	// per-layer L1 distance between the EWMA routing estimate and the
+	// placement-time P. <= 0 disables the drift signal.
+	DriftThreshold float64
+	// CommGapThreshold triggers on (measured-predicted)/predicted step
+	// communication time. <= 0 disables the gap signal.
+	CommGapThreshold float64
+	// ConsecutiveSteps (K) is how many consecutive over-threshold step
+	// boundaries arm a re-solve. Default 3.
+	ConsecutiveSteps int
+	// CooldownSteps (M) is how many step boundaries the controller stays
+	// silent after consuming a re-solve. Default 20.
+	CooldownSteps int
+	// AmortizeSteps is the horizon the migration cost is amortized over
+	// in the cost gate. Default 50.
+	AmortizeSteps int
+	// MinSavingsFactor scales the gate: the plan executes only when
+	// savings/step × AmortizeSteps ≥ MinSavingsFactor × move cost.
+	// Default 1.
+	MinSavingsFactor float64
+	// ExpertBytes is the wire payload of migrating one expert
+	// (broker.ExpertSpec.PayloadBytes()); feeds the move-cost model.
+	ExpertBytes float64
+	// Strategy re-solves the placement. Default placement.LocalityLP.
+	Strategy placement.Strategy
+}
+
+// SetDefaults fills unset structural knobs in place.
+func (c *Config) SetDefaults() {
+	if c.ConsecutiveSteps <= 0 {
+		c.ConsecutiveSteps = 3
+	}
+	if c.CooldownSteps <= 0 {
+		c.CooldownSteps = 20
+	}
+	if c.AmortizeSteps <= 0 {
+		c.AmortizeSteps = 50
+	}
+	if c.MinSavingsFactor <= 0 {
+		c.MinSavingsFactor = 1
+	}
+	if c.Strategy == nil {
+		c.Strategy = placement.LocalityLP{}
+	}
+}
+
+// Controller is the online re-placement loop. Wire OnStep into the
+// trainer's step-boundary hook (after the supervisor's Checkpoint, so a
+// migration is always preceded by a fresh snapshot). All state is owned
+// by the training goroutine; only the obs gauges are shared.
+type Controller struct {
+	cfg   Config
+	prob  *placement.Problem
+	drift *obs.DriftMonitor
+	stats *obs.ReplaceStats
+	mig   Migrator
+
+	over     int // consecutive over-threshold step boundaries
+	cooldown int // step boundaries left before the controller may act
+
+	// LastReason describes the most recent decision ("idle", "cooldown",
+	// "arming 2/3", "migrated 5 experts", "cost-skip", ...). Diagnostic
+	// only.
+	LastReason string
+	// OnReplace, when non-nil, is invoked after each executed migration
+	// with the step, the number of experts moved, and the decision's
+	// predicted savings/step and one-time cost (seconds).
+	OnReplace func(step, moved int, savings, cost float64)
+}
+
+// New builds a controller over the placement problem template (its
+// topology fields are reused for every re-solve; P is replaced by the
+// live estimate), the observability handle feeding the signals, and the
+// migrator executing plans.
+func New(prob *placement.Problem, h *obs.Handle, mig Migrator, cfg Config) (*Controller, error) {
+	cfg.SetDefaults()
+	if prob == nil || mig == nil {
+		return nil, fmt.Errorf("replace: nil problem or migrator")
+	}
+	if h == nil || h.Drift == nil {
+		return nil, fmt.Errorf("replace: controller needs a live obs handle (drift monitor feeds the trigger signals)")
+	}
+	if cfg.DriftThreshold <= 0 && cfg.CommGapThreshold <= 0 {
+		return nil, fmt.Errorf("replace: both trigger signals disabled (set DriftThreshold or CommGapThreshold)")
+	}
+	return &Controller{
+		cfg:        cfg,
+		prob:       prob,
+		drift:      h.Drift,
+		stats:      h.Replace,
+		mig:        mig,
+		LastReason: "idle",
+	}, nil
+}
+
+// Cooldown reports how many step boundaries remain before the controller
+// may act again.
+func (c *Controller) Cooldown() int { return c.cooldown }
+
+// OnStep runs one controller decision at a step boundary. Returns an
+// error only when a migration plan failed mid-execution (the assignment
+// stays consistent; the caller decides whether to abort). Solver
+// failures are absorbed: the controller records the reason, enters
+// cooldown, and training continues on the stale placement.
+func (c *Controller) OnStep(step int) error {
+	c.stats.AddCheck()
+	if c.cooldown > 0 {
+		c.cooldown--
+		c.stats.SetCooldown(c.cooldown)
+		c.LastReason = "cooldown"
+		return nil
+	}
+	if !c.signal() {
+		c.over = 0
+		c.LastReason = "idle"
+		return nil
+	}
+	c.over++
+	if c.over < c.cfg.ConsecutiveSteps {
+		c.LastReason = fmt.Sprintf("arming %d/%d", c.over, c.cfg.ConsecutiveSteps)
+		return nil
+	}
+	c.over = 0
+	c.stats.AddTrigger()
+	return c.resolve(step)
+}
+
+// signal evaluates the trigger predicates over the live gauges.
+func (c *Controller) signal() bool {
+	if c.cfg.DriftThreshold > 0 && c.drift.MaxDrift() >= c.cfg.DriftThreshold {
+		return true
+	}
+	if c.cfg.CommGapThreshold > 0 {
+		if pred, meas := c.drift.CommGauges(); pred > 0 && meas > 0 &&
+			(meas-pred)/pred >= c.cfg.CommGapThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// resolve re-solves the placement over P̂, gates on migration economics,
+// and executes the surviving plan.
+func (c *Controller) resolve(step int) error {
+	prob := c.liveProblem()
+	next, err := c.cfg.Strategy.Place(prob)
+	if err != nil {
+		// Non-fatal: training continues on the stale placement; cooldown
+		// stops the controller from re-solving every K steps forever.
+		c.LastReason = fmt.Sprintf("solver failed: %v", err)
+		c.enterCooldown()
+		return nil
+	}
+	cur := c.mig.Assignment()
+	moves, err := placement.Diff(cur, next)
+	if err != nil {
+		c.LastReason = fmt.Sprintf("diff failed: %v", err)
+		c.enterCooldown()
+		return nil
+	}
+	if len(moves) == 0 {
+		// The live P̂ still prefers the current layout: the drift was real
+		// but harmless. Re-anchor the baseline so the signal stops firing
+		// on it.
+		c.rebaseline(prob, cur)
+		c.LastReason = "re-solve confirmed current placement"
+		c.enterCooldown()
+		return nil
+	}
+
+	nextM, errNext := placement.Evaluate(prob, next)
+	if errNext != nil {
+		// The solver returned an assignment that does not validate against
+		// its own problem — never execute a plan toward it.
+		c.LastReason = fmt.Sprintf("re-solved assignment invalid: %v", errNext)
+		c.enterCooldown()
+		return nil
+	}
+	// An infeasible current layout (e.g. experts still parked on a worker
+	// the live problem gives zero capacity) makes any feasible target
+	// worth reaching: bypass the cost gate with infinite savings.
+	savings := math.Inf(1)
+	if curM, err := placement.Evaluate(prob, cur); err == nil {
+		savings = curM.CommTime - nextM.CommTime
+	}
+	if savings <= 0 {
+		// The solver found a different but no-better layout: the current
+		// placement already serves P̂ as well as a fresh solve would, so
+		// the drift is harmless. Re-anchor the baseline to quiet the
+		// signal instead of migrating sideways.
+		c.rebaseline(prob, cur)
+		c.LastReason = "re-solve no better than current placement"
+		c.enterCooldown()
+		return nil
+	}
+	cost := placement.MoveCostSeconds(prob, moves, c.cfg.ExpertBytes)
+	c.stats.SetDecision(savings, cost)
+	if savings*float64(c.cfg.AmortizeSteps) < c.cfg.MinSavingsFactor*cost {
+		c.stats.AddCostSkip()
+		c.LastReason = fmt.Sprintf("cost-skip: savings %.3gs/step over %d steps < %.3gs move cost",
+			savings, c.cfg.AmortizeSteps, cost)
+		c.enterCooldown()
+		return nil
+	}
+
+	plan := placement.OrderMoves(moves, cur.Loads(prob.Workers), prob.Capacity)
+	moved, err := c.mig.ExecutePlan(plan)
+	if err != nil {
+		c.LastReason = fmt.Sprintf("plan aborted after %d moves: %v", moved, err)
+		c.enterCooldown()
+		return fmt.Errorf("replace: step %d: %w", step, err)
+	}
+	c.stats.AddMigration(step, moved)
+	c.rebaseline(prob, c.mig.Assignment())
+	c.LastReason = fmt.Sprintf("migrated %d experts", moved)
+	c.enterCooldown()
+	if c.OnReplace != nil {
+		c.OnReplace(step, moved, savings, cost)
+	}
+	return nil
+}
+
+// liveProblem clones the problem template with P replaced by the live
+// routing estimate and dead workers' capacity zeroed (the solver must
+// not place experts on them).
+func (c *Controller) liveProblem() *placement.Problem {
+	p := *c.prob
+	if phat := c.drift.Phat(); phat != nil {
+		p.P = phat
+	}
+	anyDead := false
+	for _, d := range c.mig.DeadMask() {
+		if d {
+			anyDead = true
+			break
+		}
+	}
+	if anyDead {
+		cp := append([]int(nil), p.Capacity...)
+		for n, d := range c.mig.DeadMask() {
+			if d && n < len(cp) {
+				cp[n] = 0
+			}
+		}
+		p.Capacity = cp
+	}
+	return &p
+}
+
+// rebaseline re-anchors the staleness signals to the placement just
+// confirmed or installed: the drift baseline becomes the P the solver
+// saw (so MaxDrift restarts near zero) and the predicted-comm gauge
+// becomes the new layout's objective value.
+func (c *Controller) rebaseline(prob *placement.Problem, a *placement.Assignment) {
+	c.drift.SetBaseline(prob.P)
+	if m, err := placement.Evaluate(prob, a); err == nil {
+		c.drift.SetPredictedComm(m.CommTime)
+	}
+}
+
+func (c *Controller) enterCooldown() {
+	c.cooldown = c.cfg.CooldownSteps
+	c.stats.SetCooldown(c.cooldown)
+}
