@@ -1,39 +1,57 @@
 // Command velavet is VELA's domain-specific static-analysis gate: a
 // standard-library-only driver (go/parser + go/types with a source
 // importer, so it runs offline) over the analyzer suite in
-// internal/lint. It enforces the invariants PR 1 established by hand:
+// internal/lint. The v1 analyzers enforce the invariants PR 1
+// established by hand; the v2 analyzers reason over the call-graph/
+// summary layer:
 //
-//	locklint     no mutex held across a blocking transport/channel op
-//	errdispatch  message-type switches handle MsgError; Send/Recv/Close
-//	             errors are not dropped
-//	allocbound   decoded wire-header values are bounds-checked before
-//	             sizing an allocation
-//	panicpolicy  panics only in tensor/nn shape preconditions
-//	floateq      no exact floating-point == / !=
+//	locklint       no mutex held across a blocking transport/channel op
+//	errdispatch    message-type switches handle MsgError; Send/Recv/Close
+//	               errors are not dropped
+//	allocbound     decoded wire-header values are bounds-checked before
+//	               sizing an allocation
+//	panicpolicy    panics only in tensor/nn shape preconditions
+//	floateq        no exact floating-point == / !=
+//	atomicpub      a field published via sync/atomic or a mutex is never
+//	               accessed plainly elsewhere
+//	deadlineflow   every entry-point flow to a transport Send/Recv passes
+//	               a deadline/timeout-bounded frame
+//	goleak         every spawned goroutine has a visible shutdown path
+//	msgexhaustive  MsgType switches cover all declared kinds or fail loud
 //
 // Usage:
 //
-//	velavet [-list] [-dir DIR] [packages]
+//	velavet [-list] [-json] [-dir DIR] [packages]
 //
-// The package arguments are accepted for Makefile symmetry with the go
-// tool ("velavet ./..."), but the driver always analyzes every package
-// of the module enclosing -dir (default "."), test files included.
-// Diagnostics print as file:line: analyzer: message; the exit status is
-// 1 when anything is reported, 2 on a driver failure.
+// Package arguments filter which analysis units report: each argument
+// matches import paths by suffix, go-tool style ("./internal/broker",
+// "repro/internal/broker" and "broker" all select the broker package),
+// and "./..." or no arguments selects everything. The whole module
+// enclosing -dir (default ".") is still loaded and typechecked — the
+// call-graph layer needs every package — only reporting is filtered.
+//
+// Diagnostics print as file:line: analyzer: message, or with -json as
+// one JSON object per line ({"file":...,"line":...,"analyzer":...,
+// "message":...}); the exit status is 1 when anything is reported, 2 on
+// a driver failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list analyzers and exit")
-		dir  = flag.String("dir", ".", "directory inside the module to analyze")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as one JSON object per line")
+		dir     = flag.String("dir", ".", "directory inside the module to analyze")
 	)
 	flag.Parse()
 
@@ -43,7 +61,7 @@ func main() {
 			if len(a.Components) > 0 {
 				scope = fmt.Sprintf("packages with a %v path component", a.Components)
 			}
-			fmt.Printf("%-12s %s (%s)\n", a.Name, a.Doc, scope)
+			fmt.Printf("%-13s %s (%s)\n", a.Name, a.Doc, scope)
 		}
 		return
 	}
@@ -54,25 +72,100 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Surface typecheck failures: analyzers run on best-effort type
-	// information, but a package that does not typecheck is itself a
-	// finding (and explains any odd diagnostics that follow).
+	// The whole module is analyzed regardless of the package arguments —
+	// the call-graph layer needs every function — but only diagnostics
+	// landing in a selected package's directory are reported.
+	keep := packageFilter(flag.Args())
+	selDirs := make(map[string]bool)
 	broken := false
 	for _, p := range pkgs {
+		if !keep(p.Path) {
+			continue
+		}
+		if len(p.Files) > 0 {
+			selDirs[filepath.Dir(p.Fset.Position(p.Files[0].Pos()).Filename)] = true
+		}
+		// Surface typecheck failures: analyzers run on best-effort type
+		// information, but a package that does not typecheck is itself a
+		// finding (and explains any odd diagnostics that follow).
 		for _, terr := range p.TypeErrors {
 			fmt.Fprintf(os.Stderr, "velavet: typecheck %s: %v\n", p.Path, terr)
 			broken = true
 		}
 	}
+	if len(selDirs) == 0 {
+		fmt.Fprintf(os.Stderr, "velavet: no packages match %v\n", flag.Args())
+		os.Exit(2)
+	}
 
-	diags := lint.Run(pkgs, lint.Analyzers())
+	all := lint.Run(pkgs, lint.Analyzers())
+	diags := all[:0]
+	for _, d := range all {
+		if selDirs[filepath.Dir(d.Pos.Filename)] {
+			diags = append(diags, d)
+		}
+	}
 	for _, d := range diags {
-		fmt.Println(d.String())
+		if *jsonOut {
+			line, err := json.Marshal(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "velavet: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(line))
+		} else {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 || broken {
-		if len(diags) > 0 {
+		if len(diags) > 0 && !*jsonOut {
 			fmt.Fprintf(os.Stderr, "velavet: %d finding(s)\n", len(diags))
 		}
 		os.Exit(1)
+	}
+}
+
+// packageFilter builds the import-path predicate from the command-line
+// package arguments. Arguments match go-tool style: "./..." (or none)
+// selects everything, otherwise an argument selects packages whose
+// import path equals it or ends in "/"+arg, after stripping any "./"
+// prefix and "/..." suffix (a "/..." argument selects the whole subtree
+// under the remaining prefix).
+func packageFilter(args []string) func(string) bool {
+	type pattern struct {
+		path    string
+		subtree bool
+	}
+	var pats []pattern
+	for _, a := range args {
+		a = strings.TrimPrefix(a, "./")
+		sub := false
+		if rest, ok := strings.CutSuffix(a, "/..."); ok {
+			a, sub = rest, true
+		}
+		a = strings.Trim(a, "/")
+		if a == "..." || a == "" {
+			return func(string) bool { return true }
+		}
+		pats = append(pats, pattern{path: a, subtree: sub})
+	}
+	if len(pats) == 0 {
+		return func(string) bool { return true }
+	}
+	return func(path string) bool {
+		for _, p := range pats {
+			if path == p.path || strings.HasSuffix(path, "/"+p.path) {
+				return true
+			}
+			if p.subtree && (strings.Contains(path, "/"+p.path+"/") || strings.HasPrefix(path, p.path+"/")) {
+				return true
+			}
+		}
+		return false
 	}
 }

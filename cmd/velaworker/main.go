@@ -63,15 +63,16 @@ func main() {
 	var conn transport.Conn
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	//lint:longlived signal watcher: parked on the OS signal channel until SIGINT/SIGTERM or process exit
 	go func() {
 		s := <-sig
 		interrupted.Store(true)
 		fmt.Printf("velaworker %d: %v — draining and shutting down\n", *id, s)
-		//velavet:allow errdispatch -- shutdown path: the close errors carry no signal beyond the exit itself
+		//lint:ignore errdispatch shutdown path: the close errors carry no signal beyond the exit itself
 		_ = l.Close()
 		connMu.Lock()
 		if conn != nil {
-			//velavet:allow errdispatch -- shutdown path: severing the conn is the point
+			//lint:ignore errdispatch shutdown path: severing the conn is the point
 			_ = conn.Close()
 		}
 		connMu.Unlock()

@@ -320,7 +320,7 @@ func freshSolveRatio(sys *core.System, handle *obs.Handle) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	//velavet:allow floateq -- division-by-zero guard; any nonzero objective, however small, yields a well-defined ratio
+	//lint:ignore floateq division-by-zero guard; any nonzero objective, however small, yields a well-defined ratio
 	if freshM.CommTime == 0 {
 		return 1, nil
 	}

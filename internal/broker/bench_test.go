@@ -110,7 +110,7 @@ func serveLatencyShim(conn transport.Conn, pool int, lat time.Duration) {
 		}
 		if m.Type == wire.MsgShutdown {
 			wg.Wait()
-			//velavet:allow errdispatch -- bench-harness shutdown ack; a lost ack surfaces as the bench deadline expiring
+			//lint:ignore errdispatch bench-harness shutdown ack; a lost ack surfaces as the bench deadline expiring
 			_ = conn.Send(&wire.Message{Type: wire.MsgAck, Seq: m.Seq})
 			return
 		}
@@ -123,7 +123,7 @@ func serveLatencyShim(conn transport.Conn, pool int, lat time.Duration) {
 			reply := &wire.Message{Type: wire.MsgForwardResult, Layer: m.Layer,
 				Expert: m.Expert, Seq: m.Seq, Tensors: m.Tensors}
 			sendMu.Lock()
-			//velavet:allow locklint errdispatch -- sendMu only serializes harness reply writers (Recv never takes it), and a lost reply stalls the bench visibly
+			//lint:ignore locklint,errdispatch sendMu only serializes harness reply writers (Recv never takes it), and a lost reply stalls the bench visibly
 			_ = conn.Send(reply)
 			sendMu.Unlock()
 		}(m)
@@ -158,7 +158,7 @@ func benchLatencyBoundWorker(b *testing.B, pool int) {
 	b.ReportMetric(float64(b.N*experts)/b.Elapsed().Seconds(), "req/s")
 	_ = exec.Shutdown()
 	<-done
-	//velavet:allow errdispatch -- end-of-bench teardown after the measured exchange completed
+	//lint:ignore errdispatch end-of-bench teardown after the measured exchange completed
 	_ = master.Close()
 }
 

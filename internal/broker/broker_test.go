@@ -449,7 +449,7 @@ func TestTCPDeployment(t *testing.T) {
 		}
 	}
 	for _, c := range conns {
-		//velavet:allow errdispatch -- end-of-test teardown of in-process pipes already drained by Shutdown
+		//lint:ignore errdispatch end-of-test teardown of in-process pipes already drained by Shutdown
 		_ = c.Close()
 	}
 }

@@ -21,7 +21,7 @@ func TestExecutorSurvivesDeadWorker(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Kill worker 1's pipe.
-	//velavet:allow errdispatch -- fault injection: closing the pipe IS the failure under test
+	//lint:ignore errdispatch fault injection: closing the pipe IS the failure under test
 	_ = dep.Conns[1].Close()
 
 	_, err := exec.ForwardExperts(0, map[int]*tensor.Tensor{

@@ -132,7 +132,7 @@ func (x *Executor) MarkDead(n int) {
 	if x.dead[n].Swap(true) {
 		return
 	}
-	//velavet:allow errdispatch -- the worker is being abandoned; its close error carries no signal
+	//lint:ignore errdispatch the worker is being abandoned; its close error carries no signal
 	_ = x.conns[n].Close()
 }
 

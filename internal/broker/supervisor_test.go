@@ -271,7 +271,7 @@ func TestRecoverWithoutSnapshotFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	sup := NewSupervisor(exec, uniformProblem(cfg, 2), SupervisorConfig{})
-	//velavet:allow errdispatch -- fault injection: severing the conn IS the failure under test
+	//lint:ignore errdispatch fault injection: severing the conn IS the failure under test
 	_ = dep.Conns[1].Close()
 	err := sup.Recover(0, errors.New("step failed"))
 	if err == nil || exec.Alive(1) {

@@ -147,7 +147,7 @@ func (w *Worker) Serve(conn interface {
 	send := func(m *wire.Message) error {
 		sendMu.Lock()
 		defer sendMu.Unlock()
-		//velavet:allow locklint -- sendMu only serializes reply writers on conn; Recv never takes it, so no send/recv cycle can wedge
+		//lint:ignore locklint sendMu only serializes reply writers on conn; Recv never takes it, so no send/recv cycle can wedge
 		if err := conn.Send(m); err != nil {
 			if sendErr == nil {
 				sendErr = err

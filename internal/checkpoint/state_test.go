@@ -112,7 +112,7 @@ func TestExpertSnapshotRejectsCorruptCounts(t *testing.T) {
 	}
 	i32 := func(b *bytes.Buffer, vs ...int32) {
 		for _, v := range vs {
-			//velavet:allow errdispatch -- bytes.Buffer writes cannot fail
+			//lint:ignore errdispatch bytes.Buffer writes cannot fail
 			_ = binary.Write(b, binary.LittleEndian, v)
 		}
 	}

@@ -30,7 +30,7 @@ import (
 // Add, Scale, …) is a finding — those paths run every training step and
 // must use the destination-passing (*Into), in-place, or arena APIs. A
 // deliberate allocation (e.g. a result that escapes the step) is
-// annotated //velavet:allow allocbound with the reason.
+// annotated //lint:ignore allocbound <why>.
 //
 // Third, the observability hot-path invariant (DESIGN.md §13): inside an
 // obs package's per-request hooks (Record, Observe, OnSend, …) any
@@ -125,7 +125,7 @@ func runAllocBound(pass *Pass) {
 func checkObsHookAllocs(pass *Pass, fd *ast.FuncDecl) {
 	report := func(pos token.Pos, what string) {
 		pass.Reportf(pos,
-			"%s in obs per-request hook %s — these run for every exchange message and must not allocate; restructure onto preallocated state, or annotate //velavet:allow allocbound with why",
+			"%s in obs per-request hook %s — these run for every exchange message and must not allocate; restructure onto preallocated state, or annotate //lint:ignore allocbound with why",
 			what, fd.Name.Name)
 	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -176,7 +176,7 @@ func checkHotPathAllocs(pass *Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		pass.Reportf(call.Pos(),
-			"allocating tensor op %s in per-step hot path %s — use the Into/in-place/arena variant, or annotate //velavet:allow allocbound with why the allocation must escape",
+			"allocating tensor op %s in per-step hot path %s — use the Into/in-place/arena variant, or annotate //lint:ignore allocbound with why the allocation must escape",
 			sel.Sel.Name, fd.Name.Name)
 		return true
 	})

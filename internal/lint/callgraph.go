@@ -1,0 +1,626 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is velavet v2's flow layer: an intra-module call graph built
+// from go/types call resolution, plus per-function summaries — blocking,
+// holds-lock, spawns-goroutine, bounds-deadline — propagated over it.
+// The v1 analyzers are purely syntactic; the flow layer is what lets
+// deadlineflow reason about "every path from an entry point to a
+// transport op" and atomicpub about "functions only ever called with the
+// lock held" without leaving the standard library.
+//
+// Scope and limitations (deliberate):
+//
+//   - Calls are resolved statically. A call through an interface method
+//     resolves to the interface method object, which has no body — the
+//     graph does not devirtualize. The transport leaf the analyzers care
+//     about (Send/Recv on a connection-like value) is detected
+//     structurally at the call site, so the interface boundary costs no
+//     coverage there.
+//   - Calls inside `go` function literals do not contribute to the
+//     spawning function's flow summaries: the spawner does not block on
+//     them. Goroutine hygiene is goleak's job.
+//   - Lock state is lexical, exactly like locklint: Lock/RLock marks the
+//     receiver held for the remaining statements (deferred unlocks keep
+//     it held through the function tail), branches fork a copy.
+
+// Program is the whole-load view the flow-aware analyzers consult: every
+// analyzed package plus the module call graph over their function
+// declarations.
+type Program struct {
+	Pkgs []*Package
+	// funcs indexes every function declaration with a body by its
+	// canonical key (types.Func.FullName).
+	funcs map[string]*FuncInfo
+}
+
+// FuncInfo is one function declaration and its locally-derived facts.
+type FuncInfo struct {
+	// Key is the canonical identity: types.Func.FullName(), e.g.
+	// "(*repro/internal/broker.Executor).pipelined".
+	Key string
+	// Name is the bare declared name (for diagnostics).
+	Name string
+	// Decl is the syntax; Pkg the analysis unit it came from.
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Test marks a declaration in a _test.go file. Test functions still
+	// appear in the graph, but lock-discipline summaries ignore them as
+	// callers: tests are covered by the dynamic race detector, not the
+	// static discipline.
+	Test bool
+
+	// Calls are the statically-resolved call sites in the body, in
+	// source order.
+	Calls []Callsite
+
+	// directBlocking: the body performs a channel operation or a
+	// conn-like Send/Recv outside any `go` literal.
+	directBlocking bool
+	// directSpawns: the body contains a `go` statement.
+	directSpawns bool
+	// acquiresLock: the body calls Lock/RLock on a sync lock.
+	acquiresLock bool
+	// boundsDeadline: the body syntactically establishes a time bound —
+	// a Set{,Recv,Send,Read,Write}Deadline call or a select with a
+	// timer-channel case. Everything at or below a bounding frame
+	// counts as deadline-covered.
+	boundsDeadline bool
+	// transportOps are the direct conn-like Send/Recv sites (outside
+	// `go` literals).
+	transportOps []transportOp
+
+	// memo state for the propagated summaries.
+	blockingMemo, blockingDone bool
+	spawnsMemo, spawnsDone     bool
+	underLockMemo              int8 // 0 unknown, 1 yes, 2 no
+	unboundedMemo              map[token.Pos]unboundedSite
+	unboundedDone              bool
+	onStack                    bool
+}
+
+// Callsite is one statically-resolved call in a function body.
+type Callsite struct {
+	// Key identifies the callee (types.Func.FullName); the callee may or
+	// may not be declared in the module.
+	Key string
+	Pos token.Pos
+	// InGo marks a call made inside a `go` function literal: it runs on
+	// another goroutine and does not block the caller.
+	InGo bool
+	// LockHeld marks a call made while a sync lock is lexically held.
+	LockHeld bool
+}
+
+// transportOp is one direct Send/Recv on a connection-like value.
+type transportOp struct {
+	Pos  token.Pos
+	Name string // "Send" or "Recv"
+	Recv string // rendered receiver expression
+}
+
+// unboundedSite is a transport op reachable without a deadline bound,
+// with the call path from the queried function.
+type unboundedSite struct {
+	Op   transportOp
+	Path string
+}
+
+// BuildProgram constructs the call graph and local summaries over every
+// loaded package. It is deterministic for a deterministic Load.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{Pkgs: pkgs, funcs: make(map[string]*FuncInfo)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := &FuncInfo{
+					Key: obj.FullName(), Name: fd.Name.Name, Decl: fd, Pkg: pkg,
+					Test: isTestFile(pkg.Fset, fd.Pos()),
+				}
+				p.scanBody(fi)
+				// In-package test units shadow the pure variant under the
+				// same key; first writer wins so the non-test declaration
+				// (loaded first in path order) is stable.
+				if _, dup := p.funcs[fi.Key]; !dup {
+					p.funcs[fi.Key] = fi
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Func returns the module function declared under the canonical key, or
+// nil for functions outside the module (stdlib, interface methods).
+func (p *Program) Func(key string) *FuncInfo { return p.funcs[key] }
+
+// Functions returns every module function in deterministic key order.
+func (p *Program) Functions() []*FuncInfo {
+	keys := make([]string, 0, len(p.funcs))
+	for k := range p.funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*FuncInfo, len(keys))
+	for i, k := range keys {
+		out[i] = p.funcs[k]
+	}
+	return out
+}
+
+// calleeKey resolves the static callee of a call expression to its
+// canonical key, or "".
+func calleeKey(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	if fn, ok := info.Defs[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// deadlineSetterNames are method/function names whose call marks a frame
+// as deadline-bounding. Name-based on purpose: the transport package
+// helpers (transport.SetRecvDeadline), the Deadliner methods and
+// net.Conn's deadline setters all match.
+var deadlineSetterNames = map[string]bool{
+	"SetDeadline": true, "SetRecvDeadline": true, "SetSendDeadline": true,
+	"SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// scanBody walks one function body computing the local facts: resolved
+// call sites (with go-literal and lock context), transport ops, channel
+// ops, go statements, lock acquisition and deadline bounding.
+func (p *Program) scanBody(fi *FuncInfo) {
+	info := fi.Pkg.Info
+	w := &flowWalker{prog: p, fi: fi, info: info}
+	w.block(fi.Decl.Body, newHeldSet(), false)
+}
+
+// flowWalker threads lexical lock state and go-literal depth through a
+// function body, recording the FuncInfo facts as it goes.
+type flowWalker struct {
+	prog *Program
+	fi   *FuncInfo
+	info *types.Info
+}
+
+func (w *flowWalker) block(b *ast.BlockStmt, held heldSet, inGo bool) {
+	for _, st := range b.List {
+		w.stmt(st, held, inGo)
+	}
+}
+
+func (w *flowWalker) stmt(st ast.Stmt, held heldSet, inGo bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if w.lockTransition(st.X, held) {
+			return
+		}
+		w.expr(st.X, held, inGo)
+	case *ast.DeferStmt:
+		if isUnlockCall(w.info, st.Call) {
+			return // deferred unlock: lock stays held lexically
+		}
+		w.call(st.Call, held, inGo)
+	case *ast.GoStmt:
+		if !inGo {
+			w.fi.directSpawns = true
+		}
+		// The spawned literal's body runs on another goroutine: scan it
+		// with fresh lock state and the inGo marker so nothing in it
+		// contributes to this function's flow summaries.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.block(lit.Body, newHeldSet(), true)
+		} else {
+			w.call(st.Call, newHeldSet(), true)
+		}
+		for _, a := range st.Call.Args {
+			w.expr(a, held, inGo)
+		}
+	case *ast.SendStmt:
+		if !inGo {
+			w.fi.directBlocking = true
+		}
+		w.expr(st.Chan, held, inGo)
+		w.expr(st.Value, held, inGo)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e, held, inGo)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e, held, inGo)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e, held, inGo)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held, inGo)
+		}
+		w.expr(st.Cond, held, inGo)
+		w.block(st.Body, held.clone(), inGo)
+		if st.Else != nil {
+			w.stmt(st.Else, held.clone(), inGo)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held, inGo)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, held, inGo)
+		}
+		w.block(st.Body, held.clone(), inGo)
+	case *ast.RangeStmt:
+		if t := typeOf(w.info, st.X); t != nil && !inGo {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.fi.directBlocking = true
+			}
+		}
+		w.expr(st.X, held, inGo)
+		w.block(st.Body, held.clone(), inGo)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held, inGo)
+		}
+		if st.Tag != nil {
+			w.expr(st.Tag, held, inGo)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			h := held.clone()
+			for _, b := range cc.Body {
+				w.stmt(b, h, inGo)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			h := held.clone()
+			for _, b := range cc.Body {
+				w.stmt(b, h, inGo)
+			}
+		}
+	case *ast.SelectStmt:
+		if !inGo {
+			w.fi.directBlocking = true
+		}
+		if selectHasTimerCase(w.info, st) {
+			w.fi.boundsDeadline = true
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, held, inGo)
+			}
+			h := held.clone()
+			for _, b := range cc.Body {
+				w.stmt(b, h, inGo)
+			}
+		}
+	case *ast.BlockStmt:
+		w.block(st, held.clone(), inGo)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held, inGo)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held, inGo)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockTransition mirrors locklint's lexical Lock/Unlock tracking and
+// additionally records lock acquisition on the FuncInfo.
+func (w *flowWalker) lockTransition(e ast.Expr, held heldSet) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !isSyncLock(typeOf(w.info, sel.X)) {
+		return false
+	}
+	key := types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		held[key] = call.Pos()
+		w.fi.acquiresLock = true
+		return true
+	case "Unlock", "RUnlock":
+		delete(held, key)
+		return true
+	}
+	return false
+}
+
+func isUnlockCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return false
+	}
+	return isSyncLock(typeOf(info, sel.X))
+}
+
+// expr hunts call sites, transport ops and channel receives inside an
+// expression. Nested non-go function literals are scanned as part of the
+// enclosing flow (closures here are invoked synchronously or passed to
+// callees that invoke them; counting them is the conservative reading).
+func (w *flowWalker) expr(e ast.Expr, held heldSet, inGo bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.block(n.Body, newHeldSet(), inGo)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inGo {
+				w.fi.directBlocking = true
+			}
+		case *ast.CallExpr:
+			w.call(n, held, inGo)
+			return false
+		}
+		return true
+	})
+}
+
+// call records one call expression: its resolved callee edge, transport
+// classification and deadline bounding, then recurses into arguments.
+func (w *flowWalker) call(call *ast.CallExpr, held heldSet, inGo bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		if (name == "Send" || name == "Recv") && isConnLike(typeOf(w.info, sel.X)) {
+			if !inGo {
+				w.fi.directBlocking = true
+				w.fi.transportOps = append(w.fi.transportOps, transportOp{
+					Pos: call.Pos(), Name: name, Recv: types.ExprString(sel.X),
+				})
+			}
+		}
+		if deadlineSetterNames[name] && !inGo {
+			w.fi.boundsDeadline = true
+		}
+	}
+	if key := calleeKey(w.info, call); key != "" {
+		w.fi.Calls = append(w.fi.Calls, Callsite{
+			Key: key, Pos: call.Pos(), InGo: inGo, LockHeld: len(held) > 0,
+		})
+	}
+	// Arguments and nested expressions (including the Fun's receiver).
+	w.expr(call.Fun, held, inGo)
+	for _, a := range call.Args {
+		w.expr(a, held, inGo)
+	}
+}
+
+// selectHasTimerCase reports whether a select statement carries a case
+// receiving from a time channel (time.After, Timer.C, a <-chan
+// time.Time) — the timer-guarded-wait idiom that bounds the select.
+func selectHasTimerCase(info *types.Info, st *ast.SelectStmt) bool {
+	for _, c := range st.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			continue
+		}
+		var recvd ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recvd = u.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recvd = u.X
+				}
+			}
+		}
+		if recvd == nil {
+			continue
+		}
+		t := typeOf(info, recvd)
+		if t == nil {
+			continue
+		}
+		if ch, ok := t.Underlying().(*types.Chan); ok && isNamed(ch.Elem(), "time", "Time") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- propagated summaries ----
+
+// Blocking reports whether the function can block: it performs a channel
+// or transport operation itself, or (transitively, through calls that run
+// on the calling goroutine) reaches one.
+func (p *Program) Blocking(fi *FuncInfo) bool {
+	if fi.blockingDone {
+		return fi.blockingMemo
+	}
+	if fi.onStack { // cycle: the back edge contributes nothing new
+		return false
+	}
+	fi.onStack = true
+	defer func() { fi.onStack = false }()
+	b := fi.directBlocking
+	for _, c := range fi.Calls {
+		if b {
+			break
+		}
+		if c.InGo {
+			continue
+		}
+		if callee := p.funcs[c.Key]; callee != nil && p.Blocking(callee) {
+			b = true
+		}
+	}
+	fi.blockingMemo, fi.blockingDone = b, true
+	return b
+}
+
+// SpawnsGoroutine reports whether the function starts a goroutine itself
+// or through any call it makes.
+func (p *Program) SpawnsGoroutine(fi *FuncInfo) bool {
+	if fi.spawnsDone {
+		return fi.spawnsMemo
+	}
+	if fi.onStack {
+		return false
+	}
+	fi.onStack = true
+	defer func() { fi.onStack = false }()
+	s := fi.directSpawns
+	for _, c := range fi.Calls {
+		if s {
+			break
+		}
+		if callee := p.funcs[c.Key]; callee != nil && p.SpawnsGoroutine(callee) {
+			s = true
+		}
+	}
+	fi.spawnsMemo, fi.spawnsDone = s, true
+	return s
+}
+
+// HoldsLock reports whether the function acquires a sync lock in its own
+// body.
+func (p *Program) HoldsLock(fi *FuncInfo) bool { return fi.acquiresLock }
+
+// callers returns every in-module call site targeting key, in
+// deterministic order.
+func (p *Program) callers(key string) []struct {
+	From *FuncInfo
+	Site Callsite
+} {
+	var out []struct {
+		From *FuncInfo
+		Site Callsite
+	}
+	for _, fi := range p.Functions() {
+		for _, c := range fi.Calls {
+			if c.Key == key {
+				out = append(out, struct {
+					From *FuncInfo
+					Site Callsite
+				}{fi, c})
+			}
+		}
+	}
+	return out
+}
+
+// AlwaysCalledUnderLock reports whether every in-module non-test call
+// site of the function holds a lock — lexically, or because the calling
+// function is itself only ever called under a lock. A function with no
+// such callers is not "under lock". atomicpub uses this to treat the
+// body of a fooLocked-style helper as guarded. Test callers are ignored:
+// the race detector owns test hygiene, and a lock-free test call must
+// not poison the runtime discipline.
+func (p *Program) AlwaysCalledUnderLock(fi *FuncInfo) bool {
+	switch fi.underLockMemo {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	if fi.onStack { // recursion through the caller chain: assume not
+		return false
+	}
+	fi.onStack = true
+	defer func() { fi.onStack = false }()
+	all := p.callers(fi.Key)
+	callers := all[:0]
+	for _, c := range all {
+		if !c.From.Test {
+			callers = append(callers, c)
+		}
+	}
+	ok := len(callers) > 0
+	for _, c := range callers {
+		if c.Site.LockHeld {
+			continue
+		}
+		if !p.AlwaysCalledUnderLock(c.From) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		fi.underLockMemo = 1
+	} else {
+		fi.underLockMemo = 2
+	}
+	return ok
+}
+
+// UnboundedTransport returns the conn-like Send/Recv sites reachable
+// from fi on the calling goroutine without passing through a
+// deadline-bounding frame, keyed by position, each carrying the call
+// path from fi. A function that bounds a deadline in its own body covers
+// its whole subtree.
+func (p *Program) UnboundedTransport(fi *FuncInfo) map[token.Pos]unboundedSite {
+	if fi.unboundedDone {
+		return fi.unboundedMemo
+	}
+	if fi.onStack {
+		return nil
+	}
+	fi.onStack = true
+	defer func() { fi.onStack = false }()
+	sites := make(map[token.Pos]unboundedSite)
+	if !fi.boundsDeadline {
+		for _, op := range fi.transportOps {
+			sites[op.Pos] = unboundedSite{Op: op, Path: fi.Name}
+		}
+		for _, c := range fi.Calls {
+			if c.InGo {
+				continue
+			}
+			callee := p.funcs[c.Key]
+			if callee == nil {
+				continue
+			}
+			for pos, s := range p.UnboundedTransport(callee) {
+				if _, seen := sites[pos]; !seen {
+					sites[pos] = unboundedSite{Op: s.Op, Path: fi.Name + " → " + s.Path}
+				}
+			}
+		}
+	}
+	fi.unboundedMemo, fi.unboundedDone = sites, true
+	return sites
+}

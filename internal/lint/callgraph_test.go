@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"testing"
+)
+
+// callgraphSrc exercises every propagated summary: blocking through a
+// call chain, goroutine spawning, lock discipline through the
+// fooLocked-helper pattern, and deadline-bounded transport subtrees.
+const callgraphSrc = `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) locked() { s.n++ }
+
+func (s *S) Outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locked()
+}
+
+func (s *S) Naked() { s.locked() }
+
+func blockRecv(ch chan int) int  { return <-ch }
+func callsBlock(ch chan int) int { return blockRecv(ch) }
+func pure(a int) int             { return a + 1 }
+
+func spawner() {
+	//lint:longlived callgraph fixture: summary probe, never runs
+	go func() {
+		select {}
+	}()
+}
+func callsSpawner() { spawner() }
+
+type conn struct{}
+
+func (c *conn) Send(v int) error      { return nil }
+func (c *conn) Recv() (int, error)    { return 0, nil }
+func (c *conn) SetRecvDeadline() error { return nil }
+
+func wait(c *conn) int {
+	v, _ := c.Recv()
+	return v
+}
+func top(c *conn) int { return wait(c) }
+func bounded(c *conn) int {
+	_ = c.SetRecvDeadline()
+	v, _ := c.Recv()
+	return v
+}
+func spawnsWait(c *conn) {
+	//lint:longlived callgraph fixture: summary probe, never runs
+	go func() {
+		wait(c)
+	}()
+}
+`
+
+// buildTestProgram loads callgraphSrc as a one-package module and
+// returns its Program plus a by-name lookup.
+func buildTestProgram(t *testing.T) (*Program, func(string) *FuncInfo) {
+	t.Helper()
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"p/p.go": callgraphSrc,
+	})
+	pkgs, err := Load(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Fatalf("callgraph source does not typecheck: %v", terr)
+		}
+	}
+	prog := BuildProgram(pkgs)
+	byName := func(name string) *FuncInfo {
+		for _, fi := range prog.Functions() {
+			if fi.Name == name {
+				return fi
+			}
+		}
+		t.Fatalf("function %q not in program", name)
+		return nil
+	}
+	return prog, byName
+}
+
+func TestCallGraphBlocking(t *testing.T) {
+	prog, fn := buildTestProgram(t)
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"blockRecv", true},   // direct channel receive
+		{"callsBlock", true},  // transitively through blockRecv
+		{"wait", true},        // conn-like Recv
+		{"top", true},         // transitively through wait
+		{"pure", false},       // arithmetic only
+		{"spawnsWait", false}, // the blocking call is inside a go literal
+	}
+	for _, c := range cases {
+		if got := prog.Blocking(fn(c.name)); got != c.want {
+			t.Errorf("Blocking(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCallGraphSpawns(t *testing.T) {
+	prog, fn := buildTestProgram(t)
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"spawner", true},
+		{"callsSpawner", true}, // transitively
+		{"pure", false},
+	}
+	for _, c := range cases {
+		if got := prog.SpawnsGoroutine(fn(c.name)); got != c.want {
+			t.Errorf("SpawnsGoroutine(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCallGraphLockDiscipline(t *testing.T) {
+	prog, fn := buildTestProgram(t)
+	if !prog.HoldsLock(fn("Outer")) {
+		t.Error("HoldsLock(Outer) = false, want true")
+	}
+	if prog.HoldsLock(fn("locked")) {
+		t.Error("HoldsLock(locked) = true, want false (caller holds it)")
+	}
+	// locked is called from Outer (under the lock) AND Naked (without):
+	// mixed call sites mean it is NOT always under lock.
+	if prog.AlwaysCalledUnderLock(fn("locked")) {
+		t.Error("AlwaysCalledUnderLock(locked) = true despite the lock-free Naked call site")
+	}
+	// Outer has no in-module callers at all.
+	if prog.AlwaysCalledUnderLock(fn("Outer")) {
+		t.Error("AlwaysCalledUnderLock(Outer) = true with zero callers")
+	}
+}
+
+func TestCallGraphUnboundedTransport(t *testing.T) {
+	prog, fn := buildTestProgram(t)
+
+	sites := prog.UnboundedTransport(fn("top"))
+	if len(sites) != 1 {
+		t.Fatalf("UnboundedTransport(top) has %d sites, want 1", len(sites))
+	}
+	for _, s := range sites {
+		if s.Op.Name != "Recv" {
+			t.Errorf("site op = %s, want Recv", s.Op.Name)
+		}
+		if want := "top → wait"; s.Path != want {
+			t.Errorf("site path = %q, want %q", s.Path, want)
+		}
+	}
+
+	if sites := prog.UnboundedTransport(fn("bounded")); len(sites) != 0 {
+		t.Errorf("UnboundedTransport(bounded) = %d sites, want 0 (SetRecvDeadline bounds the frame)", len(sites))
+	}
+	if sites := prog.UnboundedTransport(fn("spawnsWait")); len(sites) != 0 {
+		t.Errorf("UnboundedTransport(spawnsWait) = %d sites, want 0 (the wait runs on another goroutine)", len(sites))
+	}
+}

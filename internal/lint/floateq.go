@@ -17,7 +17,7 @@ import (
 //   - the self-comparison NaN idiom (x != x);
 //   - the tolerance helpers themselves (any package with a "testutil"
 //     path component);
-//   - sites annotated //velavet:allow floateq -- <reason>, for the rare
+//   - sites annotated //lint:ignore floateq <reason>, for the rare
 //     comparison that is semantically exact (e.g. an untouched sentinel
 //     value round-tripping unchanged).
 var FloatEq = &Analyzer{

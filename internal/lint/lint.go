@@ -10,14 +10,16 @@
 // review findings into mechanical checks.
 //
 // Suppression: a finding may be silenced by a comment on the same line
-// or the line directly above it, of the form
+// or the line directly above it, of the canonical form
 //
-//	//velavet:allow <analyzer> -- <reason>
+//	//lint:ignore <analyzer> <why>
 //
-// The reason is mandatory; an allow directive without one is itself
-// reported. Suppressions are for invariants deliberately traded away at
-// one call site (e.g. a documented serialization lock), not for
-// convenience.
+// (the legacy spelling `//lint:ignore <analyzer> <reason>` is still
+// accepted). The reason is mandatory in both forms; a bare ignore is
+// itself reported. Suppressions are for invariants deliberately traded
+// away at one call site (e.g. a documented serialization lock), not for
+// convenience. goleak additionally recognizes `//lint:longlived <why>`
+// as a positive annotation for deliberately process-lifetime goroutines.
 package lint
 
 import (
@@ -62,7 +64,10 @@ func (a *Analyzer) applies(path string) bool {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Prog is the whole-load flow layer (call graph + summaries), shared
+	// across every analyzer of one Run.
+	Prog   *Program
+	report func(Diagnostic)
 }
 
 // Fset returns the position set of the analyzed files.
@@ -91,7 +96,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 }
 
-// Analyzers returns the full velavet suite in stable order.
+// Analyzers returns the full velavet suite in stable order: the five
+// syntactic v1 analyzers followed by the four flow/type-aware v2
+// analyzers built on the call-graph layer.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		LockLint,
@@ -99,12 +106,19 @@ func Analyzers() []*Analyzer {
 		AllocBound,
 		PanicPolicy,
 		FloatEq,
+		AtomicPub,
+		DeadlineFlow,
+		GoLeak,
+		MsgExhaustive,
 	}
 }
 
 // Run executes every applicable analyzer over every package, drops
 // suppressed findings, and returns the remainder sorted by position.
+// The flow layer (call graph + summaries) is built once over the whole
+// load and shared by every pass.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := BuildProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allow := allowDirectives(pkg)
@@ -112,7 +126,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if !a.applies(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, report: func(d Diagnostic) {
 				if !allow.covers(d) {
 					diags = append(diags, d)
 				}
@@ -137,7 +151,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// allowSet indexes //velavet:allow directives by file, line and analyzer.
+// allowSet indexes suppression directives (both spellings) by file, line
+// and analyzer.
 type allowSet struct {
 	byLine    map[string]map[int]map[string]bool
 	malformed []Diagnostic
@@ -158,29 +173,50 @@ func (s *allowSet) covers(d Diagnostic) bool {
 	return false
 }
 
-const allowPrefix = "velavet:allow"
+const (
+	// ignorePrefix is the canonical suppression directive:
+	// //lint:ignore <analyzer> <why>.
+	ignorePrefix = "lint:ignore"
+	// allowPrefix is the legacy spelling, still accepted:
+	// //lint:ignore <analyzer> <reason>.
+	allowPrefix = "velavet:allow"
+)
 
-// allowDirectives scans a package's comments for allow directives.
+// allowDirectives scans a package's comments for suppression directives
+// in both spellings. A directive without an analyzer name or a reason is
+// a bare ignore and is itself reported.
 func allowDirectives(pkg *Package) *allowSet {
 	s := &allowSet{byLine: make(map[string]map[int]map[string]bool)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
-				if !ok {
+				var names []string
+				var ok bool
+				switch {
+				case strings.HasPrefix(c.Text, "//"+ignorePrefix):
+					names, ok = parseIgnore(strings.TrimPrefix(c.Text, "//"+ignorePrefix))
+					if !ok {
+						s.malformed = append(s.malformed, Diagnostic{
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Analyzer: "velavet",
+							Message:  "bare //lint:ignore — a suppression needs a reason: //lint:ignore <analyzer> <why>",
+						})
+						continue
+					}
+				case strings.HasPrefix(c.Text, "//"+allowPrefix):
+					names, ok = parseAllow(strings.TrimPrefix(c.Text, "//"+allowPrefix))
+					if !ok {
+						s.malformed = append(s.malformed, Diagnostic{
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Analyzer: "velavet",
+							Message:  "malformed allow directive: want //lint:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+				default:
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				directive, reason, hasReason := strings.Cut(text, "--")
-				names := strings.Fields(directive)
-				if len(names) == 0 || !hasReason || strings.TrimSpace(reason) == "" {
-					s.malformed = append(s.malformed, Diagnostic{
-						Pos:      pos,
-						Analyzer: "velavet",
-						Message:  "malformed allow directive: want //velavet:allow <analyzer> -- <reason>",
-					})
-					continue
-				}
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
 					lines = make(map[int]map[string]bool)
@@ -196,6 +232,32 @@ func allowDirectives(pkg *Package) *allowSet {
 		}
 	}
 	return s
+}
+
+// parseIgnore parses the canonical form: first field the analyzer name
+// (comma-separated for several), the remainder the mandatory reason.
+func parseIgnore(text string) ([]string, bool) {
+	fields := strings.Fields(text)
+	if len(fields) < 2 { // name plus at least one reason word
+		return nil, false
+	}
+	names := strings.Split(fields[0], ",")
+	for _, n := range names {
+		if n == "" {
+			return nil, false
+		}
+	}
+	return names, true
+}
+
+// parseAllow parses the legacy form: names before ` -- `, reason after.
+func parseAllow(text string) ([]string, bool) {
+	directive, reason, hasReason := strings.Cut(text, "--")
+	names := strings.Fields(directive)
+	if len(names) == 0 || !hasReason || strings.TrimSpace(reason) == "" {
+		return nil, false
+	}
+	return names, true
 }
 
 // ---- shared type helpers used by several analyzers ----

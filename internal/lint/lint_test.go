@@ -124,6 +124,28 @@ func TestPanicPolicy(t *testing.T) { runFixture(t, PanicPolicy) }
 // and the allow directive.
 func TestFloatEq(t *testing.T) { runFixture(t, FloatEq) }
 
+// TestAtomicPub covers both publication halves: a field published via
+// sync/atomic read plainly elsewhere, a mutex-guarded field read
+// lock-free, the fooLocked helper rescued through the call graph, and
+// the typed-atomic/build-then-publish exemptions.
+func TestAtomicPub(t *testing.T) { runFixture(t, AtomicPub) }
+
+// TestDeadlineFlow covers the entry-point flow check: unbounded
+// Send/Recv reached through a helper is reported at the site with its
+// call path, a deadline-setting frame covers its subtree, a timer
+// select bounds its frame, and Worker receivers are exempt.
+func TestDeadlineFlow(t *testing.T) { runFixture(t, DeadlineFlow) }
+
+// TestGoLeak covers the shutdown disciplines: done-channel select,
+// WaitGroup registration, completion send, ctx.Done, the longlived
+// annotation — and flags the bare forever-loops.
+func TestGoLeak(t *testing.T) { runFixture(t, GoLeak) }
+
+// TestMsgExhaustive covers MsgType switch coverage: missing kinds with
+// no default, a silent default, and the error-producing defaults plus
+// full enumeration staying clean.
+func TestMsgExhaustive(t *testing.T) { runFixture(t, MsgExhaustive) }
+
 // TestAnalyzerScoping pins the package-component scoping: locklint and
 // allocbound are domain-specific and must not fire outside their
 // packages.

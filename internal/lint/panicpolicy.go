@@ -17,7 +17,7 @@ import (
 //
 // A deliberate precondition panic outside tensor/nn (e.g. a constructor
 // rejecting a statically-invalid configuration) must carry a
-// //velavet:allow panicpolicy -- <reason> directive.
+// //lint:ignore panicpolicy <reason> directive.
 var PanicPolicy = &Analyzer{
 	Name: "panicpolicy",
 	Doc:  "panic outside internal/tensor and internal/nn shape preconditions",
@@ -54,7 +54,7 @@ func runPanicPolicy(pass *Pass) {
 			if isTestFile(pass.Fset(), call.Pos()) {
 				return true
 			}
-			pass.Reportf(call.Pos(), "panic in runtime package %s — return an error instead (panics are reserved for tensor/nn shape preconditions); annotate deliberate preconditions with //velavet:allow",
+			pass.Reportf(call.Pos(), "panic in runtime package %s — return an error instead (panics are reserved for tensor/nn shape preconditions); annotate deliberate preconditions with //lint:ignore panicpolicy <why>",
 				pass.Pkg.Path)
 			return true
 		})

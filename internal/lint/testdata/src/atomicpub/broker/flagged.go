@@ -1,0 +1,32 @@
+package broker
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter publishes hits through sync/atomic in Add, so every plain
+// access elsewhere races with it.
+type counter struct {
+	hits int64
+}
+
+func (c *counter) Add() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counter) Total() int64 { return c.hits } // want "plain read of field hits"
+
+func (c *counter) Reset() { c.hits = 0 } // want "plain write of field hits"
+
+// table guards rows with mu in insert but reads it lock-free in size.
+type table struct {
+	mu   sync.Mutex
+	rows map[int]int
+}
+
+func (t *table) insert(k, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[k] = v
+}
+
+func (t *table) size() int { return len(t.rows) } // want "lock-free read of field rows"

@@ -1,0 +1,60 @@
+package broker
+
+import "time"
+
+// conn is the fixture transport: Send plus Recv makes it conn-like.
+type conn struct{}
+
+func (c *conn) Send(m string) error               { return nil }
+func (c *conn) Recv() (string, error)             { return "", nil }
+func (c *conn) SetRecvDeadline(t time.Time) error { return nil }
+
+// Executor is a master-side entry type: its exported methods are the
+// flows the trainer drives.
+type Executor struct {
+	c *conn
+}
+
+// Exchange reaches the transport through helper with no bound anywhere
+// on the path.
+func (x *Executor) Exchange() error {
+	return x.helper()
+}
+
+func (x *Executor) helper() error {
+	if err := x.c.Send("req"); err != nil { // want "transport Send on x.c is reachable from entry point Exchange"
+		return err
+	}
+	_, err := x.c.Recv() // want "transport Recv on x.c is reachable from entry point Exchange"
+	return err
+}
+
+// Bounded sets a recv deadline in its own frame, covering its subtree.
+func (x *Executor) Bounded() error {
+	if err := x.c.SetRecvDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := x.c.Recv()
+	return err
+}
+
+// Worker-named receivers are the passive serve side and exempt: the
+// serve loop legitimately waits forever for the next request.
+type Worker struct {
+	c *conn
+}
+
+func (w *Worker) Serve() error {
+	for {
+		if _, err := w.c.Recv(); err != nil {
+			return err
+		}
+	}
+}
+
+// quietHelper is unexported and unreachable from any entry point, so
+// its unbounded Recv is not reported.
+func quietHelper(c *conn) error {
+	_, err := c.Recv()
+	return err
+}

@@ -1,0 +1,26 @@
+package replace
+
+import "time"
+
+type pipe struct{}
+
+func (p *pipe) Send(m string) error   { return nil }
+func (p *pipe) Recv() (string, error) { return "", nil }
+
+// Drive is an exported function entry in a replace-component package.
+func Drive(p *pipe) error {
+	_, err := p.Recv() // want "transport Recv on p is reachable from entry point Drive"
+	return err
+}
+
+// DriveBounded guards the wait with a timer select, which bounds the
+// frame.
+func DriveBounded(p *pipe, ch <-chan string) string {
+	select {
+	case m := <-ch:
+		return m
+	case <-time.After(time.Second):
+		reply, _ := p.Recv()
+		return reply
+	}
+}

@@ -1,0 +1,20 @@
+package broker
+
+// spawnNaked loops forever with no exit path at all.
+func spawnNaked(work func()) {
+	go func() { // want "goroutine has no shutdown path"
+		for {
+			work()
+		}
+	}()
+}
+
+// spawnWaiter drains a channel nothing marks as a shutdown signal: when
+// the producer stops without closing it, the goroutine leaks.
+func spawnWaiter(ch chan int) {
+	go func() { // want "goroutine has no shutdown path"
+		for v := range ch {
+			_ = v
+		}
+	}()
+}

@@ -1,0 +1,11 @@
+package broker
+
+// Test files are exempt: the dynamic testutil.VerifyNoLeaks gate covers
+// them, and test helpers spawn freely.
+func spawnInTest(work func()) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,55 @@
+package broker
+
+import "fix/wire"
+
+// dispatchAll covers every declared kind: no default needed.
+func dispatchAll(m *wire.Message) int {
+	switch m.Type {
+	case wire.MsgPing:
+		return 1
+	case wire.MsgPong:
+		return 2
+	case wire.MsgError:
+		return 3
+	case wire.MsgShutdown:
+		return 4
+	}
+	return 0
+}
+
+func errMsg(m *wire.Message) *wire.Message {
+	return &wire.Message{Type: wire.MsgError}
+}
+
+// dispatchErrDefault routes unknown kinds into an error reply — the
+// worker.handle idiom.
+func dispatchErrDefault(m *wire.Message) *wire.Message {
+	switch m.Type {
+	case wire.MsgPing:
+		return nil
+	default:
+		return errMsg(m)
+	}
+}
+
+// dispatchPanicDefault treats an unknown kind as a programming error.
+func dispatchPanicDefault(m *wire.Message) int {
+	switch m.Type {
+	case wire.MsgPing:
+		return 1
+	case wire.MsgPong, wire.MsgError, wire.MsgShutdown:
+		return 2
+	default:
+		panic("unreachable message kind")
+	}
+}
+
+// other switches over non-MsgType tags are none of the analyzer's
+// business.
+func other(k int) int {
+	switch k {
+	case 1:
+		return 1
+	}
+	return 0
+}

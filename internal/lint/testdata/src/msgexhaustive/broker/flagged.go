@@ -1,0 +1,26 @@
+package broker
+
+import "fix/wire"
+
+// dispatchNoDefault misses two declared kinds and has nowhere for an
+// unknown message to go.
+func dispatchNoDefault(m *wire.Message) int {
+	switch m.Type { // want "misses 2 declared message kind.s. .MsgError, MsgShutdown"
+	case wire.MsgPing:
+		return 1
+	case wire.MsgPong:
+		return 2
+	}
+	return 0
+}
+
+// dispatchSilentDefault has a default, but it swallows the unhandled
+// kinds without producing any error.
+func dispatchSilentDefault(m *wire.Message) int {
+	switch m.Type {
+	case wire.MsgPing:
+		return 1
+	default: // want "silently discards 3 unhandled message kind"
+		return 0
+	}
+}

@@ -1,0 +1,17 @@
+// Package wire is a miniature of the real wire package: a MsgType enum
+// whose constant block the analyzer enumerates from the package scope.
+package wire
+
+type MsgType uint8
+
+const (
+	MsgPing MsgType = iota + 1
+	MsgPong
+	MsgError
+	MsgShutdown
+)
+
+// Message is the envelope the dispatchers switch on.
+type Message struct {
+	Type MsgType
+}

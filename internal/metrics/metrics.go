@@ -13,11 +13,11 @@ import (
 // WorkerTraffic accumulates the bytes and token-copies exchanged between
 // the master and one worker.
 type WorkerTraffic struct {
-	BytesToWorker   int64
-	BytesFromWorker int64
-	TokensToWorker  int64
+	BytesToWorker    int64
+	BytesFromWorker  int64
+	TokensToWorker   int64
 	TokensFromWorker int64
-	Messages        int64
+	Messages         int64
 }
 
 // Traffic is a thread-safe per-worker traffic meter. Logical bytes are
@@ -37,7 +37,7 @@ func NewTraffic(n int, crossNode []bool) *Traffic {
 		crossNode = make([]bool, n)
 	}
 	if len(crossNode) != n {
-		//velavet:allow panicpolicy -- constructor precondition on caller-built topology slices
+		//lint:ignore panicpolicy constructor precondition on caller-built topology slices
 		panic(fmt.Sprintf("metrics: crossNode length %d, want %d", len(crossNode), n))
 	}
 	return &Traffic{per: make([]WorkerTraffic, n), crossNode: append([]bool(nil), crossNode...)}

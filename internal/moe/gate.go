@@ -46,7 +46,7 @@ type Gate struct {
 // experts, selecting topK per token.
 func NewGate(name string, rng *rand.Rand, d, numExperts, topK int, trainable bool) *Gate {
 	if topK <= 0 || topK > numExperts {
-		//velavet:allow panicpolicy -- constructor precondition; Config.Validate rejects these values before any gate is built
+		//lint:ignore panicpolicy constructor precondition; Config.Validate rejects these values before any gate is built
 		panic(fmt.Sprintf("moe: invalid topK %d for %d experts", topK, numExperts))
 	}
 	return &Gate{
@@ -64,7 +64,7 @@ func (g *Gate) Params() []*nn.Param { return g.Proj.Params() }
 // Forward routes the flattened token batch x ([tokens, d]).
 func (g *Gate) Forward(x *tensor.Tensor) *Routing {
 	logits := g.Proj.Forward(x)
-	//velavet:allow allocbound -- Scores escapes inside the returned Routing: Theorem-1 probes hold routings across later forwards, so the buffer cannot be reused
+	//lint:ignore allocbound Scores escapes inside the returned Routing: Theorem-1 probes hold routings across later forwards, so the buffer cannot be reused
 	scores := logits.SoftmaxRows()
 	n := x.Rows()
 	r := &Routing{

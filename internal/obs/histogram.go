@@ -29,7 +29,7 @@ type Histogram struct {
 func NewHistogram(bounds []float64) *Histogram {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
-			//velavet:allow panicpolicy -- constructor precondition on literal bucket tables
+			//lint:ignore panicpolicy constructor precondition on literal bucket tables
 			panic("obs: histogram bounds must be strictly ascending")
 		}
 	}
@@ -121,7 +121,7 @@ func (h *Histogram) Merge(o *Histogram) {
 		return
 	}
 	if len(h.counts) != len(o.counts) {
-		//velavet:allow panicpolicy -- merge precondition: both operands are built from the same literal bucket table
+		//lint:ignore panicpolicy merge precondition: both operands are built from the same literal bucket table
 		panic("obs: merging histograms with different bucket tables")
 	}
 	for i := range o.counts {

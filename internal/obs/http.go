@@ -17,7 +17,7 @@ func NewMux(src Source) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		//velavet:allow errdispatch -- a failed scrape write means the client went away; nothing to report to
+		//lint:ignore errdispatch a failed scrape write means the client went away; nothing to report to
 		_ = WriteMetrics(w, src)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -39,7 +39,7 @@ func NewMux(src Source) *http.ServeMux {
 			code = http.StatusServiceUnavailable
 		}
 		w.WriteHeader(code)
-		//velavet:allow errdispatch -- a failed health write means the client went away; nothing to report to
+		//lint:ignore errdispatch a failed health write means the client went away; nothing to report to
 		_, _ = fmt.Fprintf(w, `{"status":%q,"workers":%d,"alive":%d}`+"\n", status, total, up)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -68,11 +68,12 @@ func Serve(addr string, src Source) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: NewMux(src), ReadHeaderTimeout: 5 * time.Second}
+	//lint:longlived metrics serve loop: returns when Server.Close tears the listener down, not via a channel
 	go func() {
 		// Serve returns ErrServerClosed on Close; any earlier error means
 		// the listener died, which the process tolerates (metrics are
 		// best-effort).
-		//velavet:allow errdispatch -- scrape serving is best-effort; a dead listener must not kill training
+		//lint:ignore errdispatch scrape serving is best-effort; a dead listener must not kill training
 		_ = srv.Serve(ln)
 	}()
 	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil

@@ -46,6 +46,7 @@ func startEngine() {
 	n := runtime.GOMAXPROCS(0)
 	engine.ch = make(chan func(), n)
 	for i := 0; i < n; i++ {
+		//lint:longlived process-lifetime worker pool: one goroutine per CPU draining the shared task channel
 		go func() {
 			for f := range engine.ch {
 				f()
@@ -177,7 +178,7 @@ func matMulRows(r, a, b []float64, lo, hi, k, m int) {
 		ai := a[i*k : (i+1)*k]
 		for p := 0; p < k; p++ {
 			v := ai[p]
-			//velavet:allow floateq -- sparsity fast path: skipping exact zeros is an optimization, not a numeric comparison
+			//lint:ignore floateq sparsity fast path: skipping exact zeros is an optimization, not a numeric comparison
 			if v == 0 {
 				continue
 			}
@@ -222,7 +223,7 @@ func tMatMulRows(r, a, b []float64, lo, hi, k, n, m int) {
 		bp := b[p*m : (p+1)*m]
 		for i := lo; i < hi; i++ {
 			v := ap[i]
-			//velavet:allow floateq -- sparsity fast path: skipping exact zeros is an optimization, not a numeric comparison
+			//lint:ignore floateq sparsity fast path: skipping exact zeros is an optimization, not a numeric comparison
 			if v == 0 {
 				continue
 			}

@@ -2,7 +2,7 @@
 // suites use instead of raw float ==/!=. Centralizing the tolerance
 // compare keeps velavet's floateq analyzer enforceable in _test.go
 // files: any exact comparison outside this package is either converted
-// to a helper call or carries an explicit //velavet:allow justification.
+// to a helper call or carries an explicit //lint:ignore justification.
 package testutil
 
 import "math"

@@ -95,9 +95,9 @@ func tcpPair(t *testing.T) (Conn, Conn) {
 		t.Fatal(srv.err)
 	}
 	t.Cleanup(func() {
-		//velavet:allow errdispatch -- test teardown
+		//lint:ignore errdispatch test teardown
 		_ = client.Close()
-		//velavet:allow errdispatch -- test teardown
+		//lint:ignore errdispatch test teardown
 		_ = srv.c.Close()
 	})
 	return client, srv.c
@@ -136,7 +136,7 @@ func TestTCPRecvResumesAfterTimeout(t *testing.T) {
 		big.Tensors[0].Data[i] = float64(i % 251)
 	}
 	go func() {
-		//velavet:allow errdispatch -- test goroutine; the receive side asserts delivery
+		//lint:ignore errdispatch test goroutine; the receive side asserts delivery
 		_ = server.Send(big)
 	}()
 
@@ -188,7 +188,7 @@ func TestFaultyDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		//velavet:allow errdispatch -- test teardown
+		//lint:ignore errdispatch test teardown
 		_ = f.Close()
 		for {
 			m, err := b.Recv()

@@ -120,7 +120,7 @@ func (f *Faulty) judgeSend() sendVerdict {
 func (f *Faulty) Send(m *wire.Message) error {
 	v := f.judgeSend()
 	if v.abruptClose {
-		//velavet:allow errdispatch -- fault injection: the abrupt close IS the failure being modelled
+		//lint:ignore errdispatch fault injection: the abrupt close IS the failure being modelled
 		_ = f.inner.Close()
 		return ErrClosed
 	}
