@@ -7,7 +7,7 @@ GO ?= go
 # machines where cgo/race is unavailable or slow; CI always runs them.
 RACE ?= 1
 
-.PHONY: build test vet lint race race-core bench bench-obs bench-all chaos shift check
+.PHONY: build test vet lint race race-core bench bench-obs bench-wire bench-all chaos shift check
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,16 @@ bench:
 bench-obs:
 	$(GO) test -run='^$$' -bench='ObsExchange|ObsHooks' -benchmem ./internal/broker \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+
+# Wire codec gate: encode/decode throughput per encoding (fp64, fp16,
+# int8) plus the bytes-per-step comparison of coalesced vs per-expert
+# dispatch on the paper geometry. The EncodeFrame/FrameEncoder/DecodeFrame
+# entries in BENCH_wire.json must show 0 allocs/op (steady-state pooled
+# codec), and the StepBytes bytes/step metrics back the fp16 ≤ 30% /
+# int8 ≤ 18% of fp64 wire-volume claims.
+bench-wire:
+	$(GO) test -run='^$$' -bench='EncodeFrame|FrameEncoder|DecodeFrame|StepBytes' -benchmem ./internal/wire \
+		| $(GO) run ./cmd/benchjson > BENCH_wire.json
 
 # The original whole-repo benchmark sweep, including the paper-figure
 # reproductions in the root package.

@@ -36,6 +36,7 @@ import (
 	"repro/internal/replace"
 	"repro/internal/trainer"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // runOptions carries the fault-tolerance and observability knobs into run.
@@ -46,6 +47,8 @@ type runOptions struct {
 	metricsAddr     string
 	replaceDrift    float64
 	replaceCooldown int
+	wireEncoding    wire.Encoding
+	coalesce        bool
 }
 
 func main() {
@@ -62,14 +65,21 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :9090; empty disables)")
 	replaceDrift := flag.Float64("replace-drift", 0, "drift threshold arming the online re-placement controller (0 disables; e.g. 0.1)")
 	replaceCooldown := flag.Int("replace-cooldown", 0, "step boundaries the controller stays quiet after acting (0 = controller default)")
+	wireEncoding := flag.String("wire-encoding", "fp16", "activation/gradient wire encoding: fp64|fp16|int8")
+	coalesce := flag.Bool("coalesce", true, "coalesce each worker's per-expert batches into one frame per direction per layer")
 	flag.Parse()
 
 	if *workers == "" {
 		log.Fatal("velamaster: -workers is required")
 	}
+	enc, err := wire.ParseEncoding(*wireEncoding)
+	if err != nil {
+		log.Fatalf("velamaster: %v", err)
+	}
 	opts := runOptions{
 		snapshotPath: *snapshotPath, heartbeat: *heartbeat, requestTimeout: *requestTimeout,
 		metricsAddr: *metricsAddr, replaceDrift: *replaceDrift, replaceCooldown: *replaceCooldown,
+		wireEncoding: enc, coalesce: *coalesce,
 	}
 	if err := run(strings.Split(*workers, ","), *devicesPerNode, *dataset, *strategy, *steps, *pretrainSteps, *ckptPath, opts); err != nil {
 		log.Fatalf("velamaster: %v", err)
@@ -128,9 +138,11 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		Bandwidth:       topo.Bandwidths(),
 		Capacity:        topo.Capacities(),
 		RoutingsPerStep: float64(2 * 32 * cfg.TopK),
-		BytesPerToken:   2 * float64(cfg.D),
-		WorkerNode:      topo.WorkerNodes(),
-		MasterNode:      topo.MasterNode,
+		// The objective prices a token at exactly what the selected wire
+		// encoding ships (the fp16 default reproduces the paper's 2·D).
+		BytesPerToken: placement.TokenBytes(opts.wireEncoding, cfg.D),
+		WorkerNode:    topo.WorkerNodes(),
+		MasterNode:    topo.MasterNode,
 	}
 	strat, err := strategyFor(strategyName)
 	if err != nil {
@@ -157,6 +169,9 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		conns[i] = c
 	}
 	exec := broker.NewExecutor(conns, assign)
+	exec.WireEncoding = opts.wireEncoding
+	exec.Coalesce = opts.coalesce
+	exec.BytesPerValue = float64(opts.wireEncoding.BitsPerValue()) / 8
 	exec.RequestTimeout = opts.requestTimeout
 	exec.Recovery = &metrics.Recovery{}
 	crossNode := make([]bool, topo.NumWorkers())

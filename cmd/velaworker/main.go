@@ -26,13 +26,24 @@ import (
 	"repro/internal/broker"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	id := flag.Int("id", 0, "worker id (diagnostics only)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
+	wireEncoding := flag.String("wire-encoding", "", "force reply encoding: fp64|fp16|int8 (empty mirrors each request's encoding)")
 	flag.Parse()
+
+	var replyEnc *wire.Encoding
+	if *wireEncoding != "" {
+		enc, err := wire.ParseEncoding(*wireEncoding)
+		if err != nil {
+			log.Fatalf("velaworker: %v", err)
+		}
+		replyEnc = &enc
+	}
 
 	l, err := transport.Listen(*listen)
 	if err != nil {
@@ -93,6 +104,7 @@ func main() {
 
 	wcfg := broker.DefaultWorkerConfig()
 	wcfg.Obs = handle
+	wcfg.ReplyEncoding = replyEnc
 	w := broker.NewWorker(*id, wcfg)
 	if err := w.Serve(transport.WithMeter(c, handle)); err != nil {
 		if interrupted.Load() && errors.Is(err, transport.ErrClosed) {

@@ -26,11 +26,12 @@ func TestHalfPrecisionFineTuning(t *testing.T) {
 		targets[i] = (i*7 + 1) % cfg.Vocab
 	}
 
-	run := func(half bool) []float64 {
+	run := func(enc wire.Encoding, coalesce bool) []float64 {
 		m, grid := buildFinetuneSetup(cfg, 7)
 		dep := StartLocalWorkers(workers, DefaultWorkerConfig())
 		exec := NewExecutor(dep.Conns, roundRobinAssignment(cfg, workers))
-		exec.HalfPrecision = half
+		exec.WireEncoding = enc
+		exec.Coalesce = coalesce
 		spec := ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: 2, LoRAAlpha: 4}
 		if err := exec.Distribute(grid, spec); err != nil {
 			t.Fatal(err)
@@ -67,8 +68,8 @@ func TestHalfPrecisionFineTuning(t *testing.T) {
 		return losses
 	}
 
-	full := run(false)
-	half := run(true)
+	full := run(wire.EncFP64, false)
+	half := run(wire.EncFP16, false)
 	diverged := false
 	for s := range full {
 		rel := math.Abs(full[s]-half[s]) / (math.Abs(full[s]) + 1e-12)
@@ -82,6 +83,34 @@ func TestHalfPrecisionFineTuning(t *testing.T) {
 	if !diverged {
 		t.Fatal("half precision had no effect — encoding not applied?")
 	}
+
+	// int8 end-to-end: the loss trajectory must stay equivalent to the
+	// exact run within a looser tolerance (8-bit activations), and must
+	// not be bit-identical (the quantization actually happened). The
+	// coalesced dispatch path is exercised at the same time.
+	int8Run := run(wire.EncInt8, true)
+	diverged = false
+	for s := range full {
+		rel := math.Abs(full[s]-int8Run[s]) / (math.Abs(full[s]) + 1e-12)
+		if rel > 0.10 {
+			t.Fatalf("step %d: int8 run diverged: %.6f vs %.6f", s, int8Run[s], full[s])
+		}
+		if !testutil.BitEqual(full[s], int8Run[s]) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("int8 encoding had no effect — encoding not applied?")
+	}
+
+	// Coalescing alone is a pure transport change: with the exact fp64
+	// encoding it must reproduce the per-expert run bit for bit.
+	coal := run(wire.EncFP64, true)
+	for s := range full {
+		if !testutil.BitEqual(full[s], coal[s]) {
+			t.Fatalf("step %d: coalesced fp64 run differs from per-expert: %v vs %v", s, coal[s], full[s])
+		}
+	}
 }
 
 // TestHalfFrameSizeShrinks: the physical frame for a half payload is ~4×
@@ -91,7 +120,7 @@ func TestHalfFrameSizeShrinks(t *testing.T) {
 	fullMsg := &wire.Message{Type: wire.MsgForward,
 		Tensors: []wire.Matrix{{Rows: 32, Cols: 32, Data: data}}}
 	halfMsg := &wire.Message{Type: wire.MsgForward,
-		Tensors: []wire.Matrix{{Rows: 32, Cols: 32, Data: data, Half: true}}}
+		Tensors: []wire.Matrix{{Rows: 32, Cols: 32, Data: data, Enc: wire.EncFP16}}}
 	fullBuf, err := wire.Encode(fullMsg)
 	if err != nil {
 		t.Fatal(err)
@@ -116,12 +145,12 @@ func TestWorkerMirrorsHalfEncoding(t *testing.T) {
 		t.Fatal("assign failed")
 	}
 	req := &wire.Message{Type: wire.MsgForward, Layer: 0, Expert: 0,
-		Tensors: []wire.Matrix{{Rows: 2, Cols: 4, Data: make([]float64, 8), Half: true}}}
+		Tensors: []wire.Matrix{{Rows: 2, Cols: 4, Data: make([]float64, 8), Enc: wire.EncFP16}}}
 	reply, _ := w.handle(req)
 	if reply.Type != wire.MsgForwardResult {
 		t.Fatalf("forward failed: %s", reply.Text)
 	}
-	if !reply.Tensors[0].Half {
+	if reply.Tensors[0].Enc != wire.EncFP16 {
 		t.Fatal("worker must mirror the request's half encoding")
 	}
 }

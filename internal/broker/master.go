@@ -57,12 +57,19 @@ type Executor struct {
 	// BytesPerValue is the logical bit-depth of an exchanged feature in
 	// bytes. The paper exchanges 16-bit features, so the default is 2.
 	BytesPerValue float64
-	// HalfPrecision makes token batches and gradients travel as IEEE
-	// binary16 on the wire, making the physical frame size match the
-	// 2-bytes-per-value logical accounting at the cost of ~1e-3 relative
-	// precision per exchanged value. Expert weights (Assign/Fetch) always
+	// WireEncoding selects the on-wire representation of token batches
+	// and gradients: wire.EncFP64 (exact), wire.EncFP16 (the paper's
+	// 16-bit exchange, making the physical frame size match the
+	// 2-bytes-per-value logical accounting at ~1e-3 relative precision),
+	// or wire.EncInt8 (symmetric per-row absmax quantization, 1 byte per
+	// value plus 8 bytes per row). Expert weights (Assign/Fetch) always
 	// travel at full precision.
-	HalfPrecision bool
+	WireEncoding wire.Encoding
+	// Coalesce packs all of a worker's per-expert batches for a layer
+	// into one multi-tensor frame per direction (one Send/Recv per worker
+	// instead of one per expert) — the fused all-to-all dispatch. The
+	// per-expert path remains the fallback when unset.
+	Coalesce bool
 	// MaxInFlight bounds how many requests may be outstanding per worker
 	// connection at once. <= 0 selects DefaultMaxInFlight.
 	MaxInFlight int
@@ -98,6 +105,37 @@ type Executor struct {
 	// only when the whole broadcast succeeds, so a retried step re-uses
 	// the same ordinal and already-stepped workers dedup it.
 	stepOrd int
+	// resBufs holds the persistent per-(direction, layer, expert) result
+	// buffers exchange copies pooled replies into before releasing them.
+	// A forward output is read by the gate backward AFTER the backward
+	// exchange (moe.Block caches it across the round), so result memory
+	// must survive until the next same-direction exchange overwrites it —
+	// which is exactly this map's overwrite cadence.
+	resMu   sync.Mutex
+	resBufs map[resultKey]*tensor.Tensor
+}
+
+// resultKey identifies one persistent exchange-result buffer.
+type resultKey struct {
+	typ           wire.MsgType
+	layer, expert int
+}
+
+// stashResult copies one reply tensor into the executor's persistent
+// result buffer for (direction, layer, expert), so the pooled reply can
+// be released while the training loop keeps reading the result.
+func (x *Executor) stashResult(typ wire.MsgType, layer, expert int, m *wire.Matrix) *tensor.Tensor {
+	x.resMu.Lock()
+	defer x.resMu.Unlock()
+	if x.resBufs == nil {
+		x.resBufs = make(map[resultKey]*tensor.Tensor)
+	}
+	k := resultKey{typ, layer, expert}
+	t := x.resBufs[k]
+	t = tensor.Ensure(&t, m.Rows, m.Cols)
+	copy(t.Data, m.Data)
+	x.resBufs[k] = t
+	return t
 }
 
 var _ moe.Executor = (*Executor)(nil)
@@ -230,6 +268,11 @@ func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), on
 	}
 	defer x.release(n)
 	conn := x.conns[n]
+	// Over a serializing transport replies are pooled decodes the broker
+	// owns; discarded ones (stale, duplicate, unknown, error) can be
+	// recycled here. Replies handed to onReply are the callback's to
+	// retain or stash — pipelined cannot know which.
+	canRelease := transport.Copies(conn)
 	timeout := x.RequestTimeout
 	if timeout > 0 {
 		// Clear the deadline on the way out so a later round without
@@ -340,15 +383,24 @@ func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), on
 					// A straggler from an abandoned round: absorb it
 					// without consuming this round's reply slot.
 					x.Recovery.AddStaleReply()
+					if canRelease {
+						wire.Release(reply)
+					}
 					continue
 				case dup:
 					x.Recovery.AddDuplicateReply()
+					if canRelease {
+						wire.Release(reply)
+					}
 					continue
 				}
 				fail(fmt.Errorf("broker: worker %d sent %v reply with unknown seq %d", n, reply.Type, reply.Seq))
 			}
 			<-slots
 			if !ok {
+				if canRelease {
+					wire.Release(reply)
+				}
 				break // consumed the slot for the garbage reply; move on
 			}
 			if x.Obs != nil {
@@ -356,6 +408,9 @@ func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), on
 			}
 			if reply.Type == wire.MsgError {
 				fail(fmt.Errorf("broker: worker %d: %s", n, reply.Text))
+				if canRelease {
+					wire.Release(reply)
+				}
 				break
 			}
 			if err := onReply(i, reply); err != nil {
@@ -466,46 +521,12 @@ func (x *Executor) exchange(layer int, batches map[int]*tensor.Tensor, reqType, 
 		wg.Add(1)
 		go func(n int, experts []int) {
 			defer wg.Done()
-			msgs := make([]*wire.Message, len(experts))
-			for i, e := range experts {
-				payload := matrixOf(batches[e])
-				payload.Half = x.HalfPrecision
-				msgs[i] = &wire.Message{
-					Type: reqType, Layer: int32(layer), Expert: int32(e),
-					Tensors: []wire.Matrix{payload},
-				}
+			var err error
+			if x.Coalesce {
+				err = x.exchangeCoalesced(n, layer, experts, batches, reqType, respType, results, &mu)
+			} else {
+				err = x.exchangePerExpert(n, layer, experts, batches, reqType, respType, results, &mu)
 			}
-			var onSent func(int)
-			if x.Traffic != nil {
-				onSent = func(i int) {
-					b := batches[experts[i]]
-					x.Traffic.AddToWorker(n, int64(b.Rows()), int64(float64(b.Len())*x.BytesPerValue))
-				}
-			}
-			err := x.pipelined(n, msgs, onSent, func(i int, reply *wire.Message) error {
-				if reply.Type != respType {
-					return fmt.Errorf("broker: worker %d sent unexpected %v", n, reply.Type)
-				}
-				if len(reply.Tensors) != 1 {
-					return fmt.Errorf("broker: worker %d %v reply carries %d tensors, want 1", n, reply.Type, len(reply.Tensors))
-				}
-				var decT0 int64
-				if x.Obs != nil {
-					decT0 = x.Obs.Trace.Clock()
-				}
-				out := tensorOf(reply.Tensors[0])
-				if x.Obs != nil {
-					x.Obs.OnDecode(n, layer, experts[i], reply.Seq,
-						time.Duration(x.Obs.Trace.Clock()-decT0))
-				}
-				mu.Lock()
-				results[experts[i]] = out
-				mu.Unlock()
-				if x.Traffic != nil {
-					x.Traffic.AddFromWorker(n, int64(out.Rows()), int64(float64(out.Len())*x.BytesPerValue))
-				}
-				return nil
-			})
 			x.Obs.WorkerRoundDone(n, roundStart)
 			if err != nil {
 				setErr(err)
@@ -518,6 +539,148 @@ func (x *Executor) exchange(layer int, batches map[int]*tensor.Tensor, reqType, 
 		return nil, firstErr
 	}
 	return results, nil
+}
+
+// logicalBytes is the logical traffic accounting of one transfer: values
+// × BytesPerValue, plus the per-row scale overhead the int8 encoding puts
+// on the wire (scales count toward frame bytes, so the logical meter and
+// the physical transport meter agree on what a transfer costs).
+func (x *Executor) logicalBytes(rows, vals int) int64 {
+	return int64(float64(vals)*x.BytesPerValue) + int64(rows*x.WireEncoding.ScaleBytesPerRow())
+}
+
+// exchangePerExpert is the fallback dispatch path: one frame per expert
+// per direction, pipelined per worker.
+func (x *Executor) exchangePerExpert(n, layer int, experts []int, batches map[int]*tensor.Tensor, reqType, respType wire.MsgType, results map[int]*tensor.Tensor, mu *sync.Mutex) error {
+	msgs := make([]*wire.Message, len(experts))
+	for i, e := range experts {
+		payload := matrixOf(batches[e])
+		payload.Enc = x.WireEncoding
+		msgs[i] = &wire.Message{
+			Type: reqType, Layer: int32(layer), Expert: int32(e),
+			Tensors: []wire.Matrix{payload},
+		}
+	}
+	var onSent func(int)
+	if x.Traffic != nil {
+		onSent = func(i int) {
+			b := batches[experts[i]]
+			x.Traffic.AddToWorker(n, int64(b.Rows()), x.logicalBytes(b.Rows(), b.Len()))
+		}
+	}
+	canRelease := transport.Copies(x.conns[n])
+	return x.pipelined(n, msgs, onSent, func(i int, reply *wire.Message) error {
+		if reply.Type != respType {
+			return fmt.Errorf("broker: worker %d sent unexpected %v", n, reply.Type)
+		}
+		if len(reply.Tensors) != 1 {
+			return fmt.Errorf("broker: worker %d %v reply carries %d tensors, want 1", n, reply.Type, len(reply.Tensors))
+		}
+		seq := reply.Seq
+		var decT0 int64
+		if x.Obs != nil {
+			decT0 = x.Obs.Trace.Clock()
+		}
+		var out *tensor.Tensor
+		if canRelease {
+			// The reply is a pooled decode: copy the result into the
+			// executor's persistent buffer and recycle it.
+			out = x.stashResult(respType, layer, experts[i], &reply.Tensors[0])
+			wire.Release(reply)
+		} else {
+			// In-process pipe: the reply tensor is the worker's copy, owned
+			// by the master outright.
+			out = tensorOf(reply.Tensors[0])
+		}
+		if x.Obs != nil {
+			x.Obs.OnDecode(n, layer, experts[i], seq,
+				time.Duration(x.Obs.Trace.Clock()-decT0))
+		}
+		mu.Lock()
+		results[experts[i]] = out
+		mu.Unlock()
+		if x.Traffic != nil {
+			x.Traffic.AddFromWorker(n, int64(out.Rows()), x.logicalBytes(out.Rows(), out.Len()))
+		}
+		return nil
+	})
+}
+
+// exchangeCoalesced is the fused dispatch path: every batch worker n owes
+// for this layer travels in ONE multi-tensor frame per direction
+// (Tensors[0] = expert-id row, Tensors[1..K] = batches), and the reply
+// mirrors the layout. Per-expert traffic accounting is preserved; any
+// expert failure on the worker fails the whole frame.
+func (x *Executor) exchangeCoalesced(n, layer int, experts []int, batches map[int]*tensor.Tensor, reqType, respType wire.MsgType, results map[int]*tensor.Tensor, mu *sync.Mutex) error {
+	multiReq, multiResp := wire.MsgForwardMulti, wire.MsgForwardMultiResult
+	if reqType == wire.MsgBackward {
+		multiReq, multiResp = wire.MsgBackwardMulti, wire.MsgBackwardMultiResult
+	}
+	ids := make([]float64, len(experts))
+	tensors := make([]wire.Matrix, 1+len(experts))
+	tensors[0] = wire.Matrix{Rows: 1, Cols: len(experts), Data: ids}
+	for i, e := range experts {
+		ids[i] = float64(e)
+		payload := matrixOf(batches[e])
+		payload.Enc = x.WireEncoding
+		tensors[1+i] = payload
+	}
+	msg := &wire.Message{Type: multiReq, Layer: int32(layer), Expert: wire.ExpertCoalesced, Tensors: tensors}
+	var onSent func(int)
+	if x.Traffic != nil {
+		onSent = func(int) {
+			for _, e := range experts {
+				b := batches[e]
+				x.Traffic.AddToWorker(n, int64(b.Rows()), x.logicalBytes(b.Rows(), b.Len()))
+			}
+		}
+	}
+	canRelease := transport.Copies(x.conns[n])
+	return x.pipelined(n, []*wire.Message{msg}, onSent, func(_ int, reply *wire.Message) error {
+		if reply.Type != multiResp {
+			return fmt.Errorf("broker: worker %d sent unexpected %v", n, reply.Type)
+		}
+		if len(reply.Tensors) != 1+len(experts) {
+			return fmt.Errorf("broker: worker %d %v reply carries %d tensors, want %d",
+				n, reply.Type, len(reply.Tensors), 1+len(experts))
+		}
+		idRow := reply.Tensors[0]
+		if idRow.Rows != 1 || idRow.Cols != len(experts) {
+			return fmt.Errorf("broker: worker %d %v reply id row is %dx%d, want 1x%d",
+				n, reply.Type, idRow.Rows, idRow.Cols, len(experts))
+		}
+		seq := reply.Seq
+		var decT0 int64
+		if x.Obs != nil {
+			decT0 = x.Obs.Trace.Clock()
+		}
+		for i, e := range experts {
+			if int(idRow.Data[i]) != e {
+				return fmt.Errorf("broker: worker %d %v reply echoes expert %d at slot %d, want %d",
+					n, reply.Type, int(idRow.Data[i]), i, e)
+			}
+			var out *tensor.Tensor
+			if canRelease {
+				out = x.stashResult(respType, layer, e, &reply.Tensors[1+i])
+			} else {
+				out = tensorOf(reply.Tensors[1+i])
+			}
+			mu.Lock()
+			results[e] = out
+			mu.Unlock()
+			if x.Traffic != nil {
+				x.Traffic.AddFromWorker(n, int64(out.Rows()), x.logicalBytes(out.Rows(), out.Len()))
+			}
+		}
+		if canRelease {
+			wire.Release(reply)
+		}
+		if x.Obs != nil {
+			x.Obs.OnDecode(n, layer, int(wire.ExpertCoalesced), seq,
+				time.Duration(x.Obs.Trace.Clock()-decT0))
+		}
+		return nil
+	})
 }
 
 // ZeroGrads broadcasts a gradient-clear to all live workers and awaits

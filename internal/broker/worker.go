@@ -9,6 +9,7 @@ import (
 	"repro/internal/moe"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/tensor"
 	"repro/internal/wire"
 )
 
@@ -38,6 +39,12 @@ type WorkerConfig struct {
 	// runExpert. In a local deployment this is usually the master's
 	// handle; a distributed velaworker owns its own.
 	Obs *obs.Handle
+	// ReplyEncoding, when non-nil, forces the wire encoding of every
+	// forward/backward reply; nil mirrors each request's encoding. The
+	// quantization itself happens in the transport (TCP serializes per
+	// encoding; the in-process pipe quantizes on Send), so the worker
+	// only stamps the encoding.
+	ReplyEncoding *wire.Encoding
 }
 
 // DefaultWorkerConfig matches the paper's fine-tuning setup (AdamW with
@@ -168,7 +175,8 @@ func (w *Worker) Serve(conn interface {
 			wg.Wait()
 			return fmt.Errorf("broker: worker %d recv: %w", w.ID, err)
 		}
-		if msg.Type == wire.MsgForward || msg.Type == wire.MsgBackward {
+		if msg.Type == wire.MsgForward || msg.Type == wire.MsgBackward ||
+			msg.Type == wire.MsgForwardMulti || msg.Type == wire.MsgBackwardMulti {
 			slots <- struct{}{}
 			wg.Add(1)
 			go func(msg *wire.Message) {
@@ -236,18 +244,7 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 		return out, false
 
 	case wire.MsgForward:
-		out, err := w.runExpert(msg, func(e *moe.Expert) (*wire.Matrix, error) {
-			// The copy is load-bearing: y is the expert's reused output
-			// buffer, and the master may still be reading this reply when
-			// the expert's next request overwrites it.
-			y := e.Forward(tensorOf(msg.Tensors[0]))
-			m := matrixCopyOf(y)
-			if msg.Tensors[0].Half { // mirror the request's encoding
-				wire.QuantizeHalfInPlace(m.Data)
-				m.Half = true
-			}
-			return &m, nil
-		})
+		out, err := w.computeReply(msg)
 		if err != nil {
 			return errMsg(msg, err), false
 		}
@@ -255,22 +252,15 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 			Seq: msg.Seq, Tensors: []wire.Matrix{*out}}, false
 
 	case wire.MsgBackward:
-		out, err := w.runExpert(msg, func(e *moe.Expert) (*wire.Matrix, error) {
-			// Same as MsgForward: dx is a reused buffer, so the reply
-			// must carry its own copy.
-			dx := e.Backward(tensorOf(msg.Tensors[0]))
-			m := matrixCopyOf(dx)
-			if msg.Tensors[0].Half { // mirror the request's encoding
-				wire.QuantizeHalfInPlace(m.Data)
-				m.Half = true
-			}
-			return &m, nil
-		})
+		out, err := w.computeReply(msg)
 		if err != nil {
 			return errMsg(msg, err), false
 		}
 		return &wire.Message{Type: wire.MsgBackwardResult, Layer: msg.Layer, Expert: msg.Expert,
 			Seq: msg.Seq, Tensors: []wire.Matrix{*out}}, false
+
+	case wire.MsgForwardMulti, wire.MsgBackwardMulti:
+		return w.handleMulti(msg), false
 
 	case wire.MsgZeroGrad:
 		w.mu.Lock()
@@ -339,6 +329,85 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 	default:
 		return errMsg(msg, fmt.Errorf("broker: worker %d: unexpected message %v", w.ID, msg.Type)), false
 	}
+}
+
+// replyEnc selects the wire encoding of a forward/backward reply: the
+// configured override when set, otherwise a mirror of the request's.
+func (w *Worker) replyEnc(req wire.Encoding) wire.Encoding {
+	if w.cfg.ReplyEncoding != nil {
+		return *w.cfg.ReplyEncoding
+	}
+	return req
+}
+
+// computeReply runs the expert compute for one MsgForward/MsgBackward
+// request and returns the reply matrix with its wire encoding stamped.
+// It is the shared compute body of the per-expert and coalesced paths.
+func (w *Worker) computeReply(msg *wire.Message) (*wire.Matrix, error) {
+	backward := msg.Type == wire.MsgBackward
+	return w.runExpert(msg, func(e *moe.Expert) (*wire.Matrix, error) {
+		// The copy is load-bearing: the expert's output is a reused
+		// buffer, and the master may still be reading this reply when the
+		// expert's next request overwrites it.
+		var y *tensor.Tensor
+		if backward {
+			y = e.Backward(tensorOf(msg.Tensors[0]))
+		} else {
+			y = e.Forward(tensorOf(msg.Tensors[0]))
+		}
+		m := matrixCopyOf(y)
+		m.Enc = w.replyEnc(msg.Tensors[0].Enc)
+		return &m, nil
+	})
+}
+
+// handleMulti serves one coalesced dispatch frame: Tensors[0] names K
+// experts, Tensors[1..K] carry their batches. The per-expert computes fan
+// out onto bounded goroutines (the same pool width as Serve's executor
+// pool) and the reply mirrors the frame layout, echoing the id row. Any
+// expert failure fails the whole frame with one MsgError — the master
+// treats a coalesced frame as one request.
+func (w *Worker) handleMulti(msg *wire.Message) *wire.Message {
+	single, resType := wire.MsgForward, wire.MsgForwardMultiResult
+	if msg.Type == wire.MsgBackwardMulti {
+		single, resType = wire.MsgBackward, wire.MsgBackwardMultiResult
+	}
+	k := len(msg.Tensors) - 1
+	if k < 0 || msg.Tensors[0].Rows != 1 || msg.Tensors[0].Cols != k {
+		return errMsg(msg, fmt.Errorf("broker: worker %d: malformed %v frame (%d tensors)",
+			w.ID, msg.Type, len(msg.Tensors)))
+	}
+	ids := msg.Tensors[0]
+	outs := make([]wire.Matrix, 1+k)
+	outs[0] = ids // echo so the master can re-correlate results
+	errs := make([]error, k)
+	sem := make(chan struct{}, w.poolSize())
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sub := wire.Message{Type: single, Layer: msg.Layer,
+				Expert: int32(ids.Data[i]), Seq: msg.Seq,
+				Tensors: msg.Tensors[1+i : 2+i]}
+			out, err := w.computeReply(&sub)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[1+i] = *out
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return errMsg(msg, err)
+		}
+	}
+	return &wire.Message{Type: resType, Layer: msg.Layer, Expert: wire.ExpertCoalesced,
+		Seq: msg.Seq, Tensors: outs}
 }
 
 // runExpert looks up the target expert and applies fn while holding the

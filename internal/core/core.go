@@ -28,6 +28,7 @@ import (
 	"repro/internal/replace"
 	"repro/internal/trainer"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // DefaultBitDepth is the feature bit depth of the paper's fine-tuning
@@ -38,14 +39,21 @@ import (
 const DefaultBitDepth = 16
 
 // resolveCostModel resolves the Options' cost-model parameters to their
-// effective values: the paper's batch·seqLen·topK routings per step and
-// DefaultBitDepth when unset.
-func resolveCostModel(routingsPerStep float64, bitDepth, topK int) (float64, int) {
+// effective values: the paper's batch·seqLen·topK routings per step, and
+// a bit depth that follows the actual wire encoding when one is selected
+// (falling back to DefaultBitDepth for the fp64 default, which models the
+// paper's 16-bit exchange). An explicitly set bitDepth always wins, so
+// what-if analyses can still decouple the model from the wire.
+func resolveCostModel(routingsPerStep float64, bitDepth, topK int, enc wire.Encoding) (float64, int) {
 	if routingsPerStep <= 0 {
 		routingsPerStep = 8 * 224 * float64(topK)
 	}
 	if bitDepth == 0 {
-		bitDepth = DefaultBitDepth
+		if enc != wire.EncFP64 {
+			bitDepth = enc.BitsPerValue()
+		} else {
+			bitDepth = DefaultBitDepth
+		}
 	}
 	return routingsPerStep, bitDepth
 }
@@ -63,9 +71,19 @@ type Options struct {
 	Stats *moe.AccessStats
 	// RoutingsPerStep and BitDepth parameterize the placement cost
 	// model; they default to the paper's fine-tuning setup (batch 8,
-	// top-k routings) and 16-bit features.
+	// top-k routings) and, when BitDepth is zero, to the bit depth of the
+	// selected WireEncoding (16-bit features for the fp64 default).
 	RoutingsPerStep float64
 	BitDepth        int
+	// WireEncoding selects the on-wire representation of exchanged
+	// activations and gradients (fp64 exact, fp16, or int8); it drives
+	// both the executor and, via resolveCostModel, the placement
+	// objective's BytesPerToken — the wire and the cost model can never
+	// disagree.
+	WireEncoding wire.Encoding
+	// Coalesce packs each worker's per-expert batches into one frame per
+	// direction per layer (the fused dispatch path).
+	Coalesce bool
 	// LoRA carried by the experts (needed to rebuild them worker-side).
 	LoRA trainer.LoRAConfig
 	// Worker selects the Expert Manager optimizer configuration;
@@ -98,18 +116,21 @@ type System struct {
 	// Spec is the deployed experts' wire architecture; its PayloadBytes
 	// feeds the re-placement controller's migration-cost model.
 	Spec broker.ExpertSpec
-	// RoutingsPerStep and BitDepth are the resolved cost-model
-	// parameters every later re-solve reuses.
+	// RoutingsPerStep, BitDepth and WireEncoding are the resolved
+	// cost-model parameters every later re-solve reuses.
 	RoutingsPerStep float64
 	BitDepth        int
+	WireEncoding    wire.Encoding
 
 	deployment *broker.LocalDeployment
 	closed     bool
 }
 
 // PlacementProblem builds the §IV-B optimization problem from a topology
-// and measured statistics.
-func PlacementProblem(topo cluster.Topology, stats *moe.AccessStats, routingsPerStep float64, featureSize, bitDepth int) *placement.Problem {
+// and measured statistics. BytesPerToken follows the resolved bit depth
+// plus the encoding's per-row metadata (int8 ships one absmax scale per
+// token row, which the objective must count like the wire does).
+func PlacementProblem(topo cluster.Topology, stats *moe.AccessStats, routingsPerStep float64, featureSize, bitDepth int, enc wire.Encoding) *placement.Problem {
 	return &placement.Problem{
 		Workers:         topo.NumWorkers(),
 		Layers:          stats.Layers,
@@ -118,7 +139,7 @@ func PlacementProblem(topo cluster.Topology, stats *moe.AccessStats, routingsPer
 		Bandwidth:       topo.Bandwidths(),
 		Capacity:        topo.Capacities(),
 		RoutingsPerStep: routingsPerStep,
-		BytesPerToken:   float64(bitDepth) * float64(featureSize) / 8,
+		BytesPerToken:   float64(bitDepth)*float64(featureSize)/8 + float64(enc.ScaleBytesPerRow()),
 		WorkerNode:      topo.WorkerNodes(),
 		MasterNode:      topo.MasterNode,
 	}
@@ -144,8 +165,8 @@ func Deploy(model *moe.Model, grid [][]*moe.Expert, opts Options) (*System, erro
 	if opts.Stats == nil {
 		return nil, fmt.Errorf("core: Options.Stats is required (run trainer.Profile first)")
 	}
-	routings, bitDepth := resolveCostModel(opts.RoutingsPerStep, opts.BitDepth, cfg.TopK)
-	prob := PlacementProblem(opts.Topo, opts.Stats, routings, cfg.D, bitDepth)
+	routings, bitDepth := resolveCostModel(opts.RoutingsPerStep, opts.BitDepth, cfg.TopK, opts.WireEncoding)
+	prob := PlacementProblem(opts.Topo, opts.Stats, routings, cfg.D, bitDepth, opts.WireEncoding)
 	assign, err := strategy.Place(prob)
 	if err != nil {
 		return nil, fmt.Errorf("core: placing experts with %s: %w", strategy.Name(), err)
@@ -164,7 +185,7 @@ func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placem
 		// carries real per-worker compute histograms.
 		wcfg.Obs = opts.Obs
 	}
-	routings, bitDepth := resolveCostModel(opts.RoutingsPerStep, opts.BitDepth, model.Cfg.TopK)
+	routings, bitDepth := resolveCostModel(opts.RoutingsPerStep, opts.BitDepth, model.Cfg.TopK, opts.WireEncoding)
 	dep := broker.StartLocalWorkers(opts.Topo.NumWorkers(), wcfg)
 	exec := broker.NewExecutor(dep.Conns, assign)
 	exec.Obs = opts.Obs
@@ -178,6 +199,8 @@ func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placem
 	// placement objective (previously the executor silently kept its own
 	// 16-bit default while the objective resolved independently).
 	exec.BytesPerValue = float64(bitDepth) / 8
+	exec.WireEncoding = opts.WireEncoding
+	exec.Coalesce = opts.Coalesce
 	spec := broker.ExpertSpec{
 		D: model.Cfg.D, Hidden: model.Cfg.Hidden,
 		LoRARank: opts.LoRA.Rank, LoRAAlpha: opts.LoRA.Alpha,
@@ -189,7 +212,7 @@ func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placem
 	model.SetExecutor(exec)
 	var prob *placement.Problem
 	if opts.Stats != nil {
-		prob = PlacementProblem(opts.Topo, opts.Stats, routings, model.Cfg.D, bitDepth)
+		prob = PlacementProblem(opts.Topo, opts.Stats, routings, model.Cfg.D, bitDepth, opts.WireEncoding)
 	}
 	if opts.Obs != nil {
 		model.SetObs(opts.Obs)
@@ -213,6 +236,7 @@ func DeployWithAssignment(model *moe.Model, grid [][]*moe.Expert, assign *placem
 		Spec:            spec,
 		RoutingsPerStep: routings,
 		BitDepth:        bitDepth,
+		WireEncoding:    opts.WireEncoding,
 		deployment:      dep,
 	}, nil
 }
@@ -293,8 +317,8 @@ func (s *System) Rebalance(stats *moe.AccessStats, strategy placement.Strategy, 
 	if bitDepth == 0 {
 		bitDepth = s.BitDepth
 	}
-	routingsPerStep, bitDepth = resolveCostModel(routingsPerStep, bitDepth, s.Model.Cfg.TopK)
-	prob := PlacementProblem(s.Topo, stats, routingsPerStep, s.Model.Cfg.D, bitDepth)
+	routingsPerStep, bitDepth = resolveCostModel(routingsPerStep, bitDepth, s.Model.Cfg.TopK, s.WireEncoding)
+	prob := PlacementProblem(s.Topo, stats, routingsPerStep, s.Model.Cfg.D, bitDepth, s.WireEncoding)
 	next, err := strategy.Place(prob)
 	if err != nil {
 		return 0, fmt.Errorf("core: rebalance placement: %w", err)

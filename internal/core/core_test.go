@@ -8,6 +8,7 @@ import (
 	"repro/internal/moe"
 	"repro/internal/placement"
 	"repro/internal/trainer"
+	"repro/internal/wire"
 )
 
 // testTopology has tight capacity (3 experts per device) so placements
@@ -51,7 +52,7 @@ func TestDeployAndFinetuneEndToEnd(t *testing.T) {
 		}
 	}()
 
-	if err := sys.Assignment.Validate(PlacementProblem(sys.Topo, stats, 100, 16, 16)); err != nil {
+	if err := sys.Assignment.Validate(PlacementProblem(sys.Topo, stats, 100, 16, 16, wire.EncFP64)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -39,9 +39,20 @@ import (
 // the exchange hot path; their zero-steady-state-allocation contract is
 // what keeps instrumented and uninstrumented runs within noise of each
 // other.
+//
+// Fourth, the zero-copy codec invariant (DESIGN.md §16): inside a wire
+// package's hot-path encode/decode functions (AppendFrame, the
+// append*/decode* payload helpers, decodeBody, DecodePooled, Release,
+// Encode) a `make` or `new` is a finding. These functions run once or
+// more per exchanged frame and must draw their buffers from the frame
+// pools (GetBuf/getFloats), the caller's destination slice, or an
+// injected allocator — a direct allocation silently reintroduces the
+// per-frame garbage the pooled framing removed. `append` stays legal:
+// the destination-passing encoders are built on it, and with a pre-grown
+// destination it does not allocate.
 var AllocBound = &Analyzer{
 	Name:       "allocbound",
-	Doc:        "unchecked wire-header make(), allocating tensor ops in per-step hot paths, or allocations in obs per-request hooks",
+	Doc:        "unchecked wire-header make(), allocating tensor ops in per-step hot paths, allocations in obs per-request hooks, or make/new in wire codec hot paths",
 	Components: []string{"wire", "broker", "tensor", "nn", "moe", "obs"},
 	Run:        runAllocBound,
 }
@@ -78,6 +89,26 @@ var obsHotPathFuncs = map[string]bool{
 	"ConnRecv":        true,
 }
 
+// wireHotPathFuncs are the wire codec functions that run per exchanged
+// frame (rule 4). Matching is exact and scoped to wire packages; "Encode"
+// covers both FrameEncoder.Encode and the thin package-level wrapper.
+// GetBuf/getFloats are deliberately absent — they are the designated
+// pool allocators and own the miss-path make.
+var wireHotPathFuncs = map[string]bool{
+	"AppendFrame":       true,
+	"appendHeader":      true,
+	"appendTensor":      true,
+	"appendFP64Payload": true,
+	"appendFP16Payload": true,
+	"appendInt8Payload": true,
+	"decodeFP64Payload": true,
+	"decodeInt8Payload": true,
+	"decodeBody":        true,
+	"DecodePooled":      true,
+	"Release":           true,
+	"Encode":            true,
+}
+
 // allocatingTensorMethods are the tensor.Tensor methods that allocate
 // their result; each has a non-allocating *Into or in-place counterpart.
 var allocatingTensorMethods = map[string]bool{
@@ -93,10 +124,13 @@ var allocatingTensorMethods = map[string]bool{
 }
 
 func runAllocBound(pass *Pass) {
-	obsPkg := false
+	obsPkg, wirePkg := false, false
 	for _, comp := range strings.Split(pass.Pkg.Path, "/") {
 		if comp == "obs" {
 			obsPkg = true
+		}
+		if comp == "wire" {
+			wirePkg = true
 		}
 	}
 	for _, f := range pass.Pkg.Files {
@@ -112,6 +146,9 @@ func runAllocBound(pass *Pass) {
 			}
 			if obsPkg && obsHotPathFuncs[fd.Name.Name] && !isTestFile(pass.Fset(), fd.Pos()) {
 				checkObsHookAllocs(pass, fd)
+			}
+			if wirePkg && wireHotPathFuncs[fd.Name.Name] && !isTestFile(pass.Fset(), fd.Pos()) {
+				checkWireHotPathAllocs(pass, fd)
 			}
 		}
 	}
@@ -154,6 +191,32 @@ func checkObsHookAllocs(pass *Pass, fd *ast.FuncDecl) {
 						report(n.Pos(), "fmt call (interface boxing allocates)")
 					}
 				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWireHotPathAllocs reports make/new inside a wire codec hot-path
+// function (rule 4). append and ordinary calls (pool getters, injected
+// allocators) pass; the codec's buffers must come from those, not from
+// fresh per-frame allocations.
+func checkWireHotPathAllocs(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, isB := pass.Info().Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(),
+					"%s in wire codec hot path %s — per-frame buffers must come from the frame pools (GetBuf/getFloats), the caller's destination, or an injected allocator; annotate //lint:ignore allocbound with why this allocation is deliberate",
+					b.Name(), fd.Name.Name)
 			}
 		}
 		return true

@@ -1,0 +1,47 @@
+package wire
+
+// Rule-4 fixtures: make/new inside the wire codec hot-path functions is a
+// finding even when the size is a harmless constant — the invariant is
+// zero per-frame allocation, not overflow safety. Sizes here are
+// parameters or constants so rule 1 (decoded-header taint) stays quiet
+// and the diagnostics below belong to rule 4 alone.
+
+// getBuf stands in for the pool allocator; calls to it are always legal
+// in hot paths.
+func getBuf(n int) []byte { return nil }
+
+type message struct {
+	tensors []Matrix
+}
+
+// AppendFrame is a hot-path encoder: its scratch must come from the pool
+// or the caller's destination.
+func AppendFrame(dst []byte, m *message) []byte {
+	scratch := make([]byte, 64) // want "make in wire codec hot path AppendFrame"
+	_ = scratch
+	hdr := new(Matrix) // want "new in wire codec hot path AppendFrame"
+	_ = hdr
+	dst = append(dst, 0) // append is the destination-passing idiom: legal
+	return dst
+}
+
+// decodeBody draws payloads from an injected allocator, never directly.
+func decodeBody(body []byte, alloc func(int) []float64) []float64 {
+	buf := getBuf(16) // pool getter: legal
+	_ = buf
+	vals := alloc(8)          // injected allocator: legal
+	tmp := make([]float64, 4) // want "make in wire codec hot path decodeBody"
+	_ = tmp
+	return vals
+}
+
+// Release returns buffers to the pools; allocating inside it defeats the
+// point.
+func Release(m *message) {
+	m.tensors = make([]Matrix, 0) // want "make in wire codec hot path Release"
+}
+
+// encodeColdPath is NOT in the hot-path list: allocation is fine here.
+func encodeColdPath(m *message) []byte {
+	return make([]byte, 128)
+}

@@ -19,7 +19,18 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/wire"
 )
+
+// TokenBytes returns the one-way wire payload of one routed token copy
+// under the given encoding: bitsPerValue·H/8 value bytes plus the
+// encoding's per-row scale overhead (int8 carries one absmax scale per
+// token row). Deployments use it to keep Problem.BytesPerToken in
+// lockstep with the physical wire encoding.
+func TokenBytes(enc wire.Encoding, featureSize int) float64 {
+	return float64(enc.BitsPerValue())*float64(featureSize)/8 + float64(enc.ScaleBytesPerRow())
+}
 
 // Problem is one placement instance.
 type Problem struct {

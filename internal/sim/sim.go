@@ -23,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,10 @@ type Config struct {
 	// BitDepth is b, the bits per exchanged feature value (16 in the
 	// paper's half-precision exchange).
 	BitDepth int
+	// Encoding is the modeled wire encoding; its per-row scale overhead
+	// (int8) is added to BytesPerToken on top of the BitDepth payload.
+	// The zero value adds nothing.
+	Encoding wire.Encoding
 	Steps    int
 
 	// ExpertSecPerToken models worker-side expert compute (forward plus
@@ -106,10 +111,10 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// BytesPerToken returns b·H/8, the one-way payload of one routed token
-// copy.
+// BytesPerToken returns b·H/8 plus the encoding's per-row scale
+// overhead — the one-way payload of one routed token copy.
 func (c *Config) BytesPerToken() float64 {
-	return float64(c.BitDepth) * float64(c.FeatureSize) / 8
+	return float64(c.BitDepth)*float64(c.FeatureSize)/8 + float64(c.Encoding.ScaleBytesPerRow())
 }
 
 // RoutingsPerStep returns tokens·topK, the routed token copies per block

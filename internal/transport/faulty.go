@@ -157,6 +157,11 @@ func (f *Faulty) Recv() (*wire.Message, error) {
 // Close implements Conn.
 func (f *Faulty) Close() error { return f.inner.Close() }
 
+// SendCopies implements Serializer by delegation. Faulty never retains m
+// past Send (delay sleeps inline, dup re-sends before returning), so the
+// inner conn's copy semantics carry through.
+func (f *Faulty) SendCopies() bool { return Copies(f.inner) }
+
 // SetRecvDeadline implements Deadliner by delegation; a deadline-less
 // inner conn reports unsupported via the helper path.
 func (f *Faulty) SetRecvDeadline(t time.Time) error {

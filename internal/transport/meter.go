@@ -47,6 +47,10 @@ func (c *Metered) Recv() (*wire.Message, error) {
 	return msg, err
 }
 
+// SendCopies implements Serializer by delegation, so metering does not
+// strip the wrapped conn's release-after-send capability.
+func (c *Metered) SendCopies() bool { return Copies(c.Conn) }
+
 // SetRecvDeadline implements Deadliner by delegation, so wrapping a conn
 // in a meter does not strip the broker's timeout support.
 func (c *Metered) SetRecvDeadline(t time.Time) error {

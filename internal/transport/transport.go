@@ -56,6 +56,25 @@ type Deadliner interface {
 	SetSendDeadline(t time.Time) error
 }
 
+// Serializer is the optional capability surface of a Conn whose Send
+// serializes the message before it returns: the peer observes an
+// independent copy, so the caller may immediately reuse or recycle the
+// message and its tensors (wire.Release). The chan transport delivers
+// messages by pointer and is NOT a Serializer; wrappers delegate to the
+// conn they wrap.
+type Serializer interface {
+	// SendCopies reports whether Send hands the peer a copy.
+	SendCopies() bool
+}
+
+// Copies reports whether c's Send serializes (copies) messages, i.e.
+// whether a sender may release pooled buffers once Send returns. False
+// for conns without the capability — the safe default.
+func Copies(c Conn) bool {
+	s, ok := c.(Serializer)
+	return ok && s.SendCopies()
+}
+
 // SetRecvDeadline applies a receive deadline if c supports deadlines,
 // reporting whether it did.
 func SetRecvDeadline(c Conn, t time.Time) bool {
@@ -139,12 +158,19 @@ func timeoutChan(deadline time.Time) (<-chan time.Time, func(), error) {
 	return t.C, func() { t.Stop() }, nil
 }
 
-// Send implements Conn.
+// Send implements Conn. Tensors with a lossy wire encoding are quantized
+// in place before delivery: the pipe skips serialization, so without this
+// a receiver would observe exact values over chan but quantized values
+// over TCP. Quantizing at Send keeps the two transports bit-identical
+// from the same input.
 func (c *chanConn) Send(m *wire.Message) error {
 	select {
 	case <-c.state.closed:
 		return ErrClosed
 	default:
+	}
+	for i := range m.Tensors {
+		m.Tensors[i].Quantize()
 	}
 	c.mu.Lock()
 	deadline := c.sendDeadline
@@ -211,12 +237,14 @@ func (c *chanConn) Close() error {
 type tcpConn struct {
 	conn net.Conn
 
-	sendMu sync.Mutex
+	sendMu  sync.Mutex
+	enc     wire.FrameEncoder
+	scratch [][]byte // reusable net.Buffers backing (WriteTo consumes its copy)
 
 	recvMu sync.Mutex
 	hdr    [4]byte
 	hdrN   int
-	body   []byte // nil until the current frame's header is complete
+	body   []byte // nil until the current frame's header is complete; pooled
 	bodyN  int
 }
 
@@ -285,11 +313,33 @@ func (t *tcpConn) SetRecvDeadline(dl time.Time) error { return t.conn.SetReadDea
 // SetSendDeadline implements Deadliner.
 func (t *tcpConn) SetSendDeadline(dl time.Time) error { return t.conn.SetWriteDeadline(dl) }
 
-// Send implements Conn.
+// SendCopies implements Serializer: Send serializes the frame before
+// returning, so the caller may recycle the message afterwards.
+func (t *tcpConn) SendCopies() bool { return true }
+
+// Send implements Conn. The frame goes out as scatter-gather segments
+// (header + one segment per tensor) via net.Buffers, so multi-tensor
+// coalesced frames are written without assembling one monolithic copy;
+// the pooled segments are recycled once the write completes.
 func (t *tcpConn) Send(m *wire.Message) error {
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
-	return mapNetErr(wire.WriteFrame(t.conn, m))
+	segs, total, err := t.enc.Encode(m)
+	if err != nil {
+		return err
+	}
+	if total > wire.MaxFrameSize {
+		t.enc.Release()
+		return wire.ErrFrameTooLarge
+	}
+	// WriteTo consumes (and nils out) the entries of the slice it is
+	// handed, so give it a scratch copy and keep the encoder's segment
+	// slice intact for Release.
+	bufs := net.Buffers(append(t.scratch[:0], segs...))
+	t.scratch = bufs[:0]
+	_, werr := bufs.WriteTo(t.conn)
+	t.enc.Release()
+	return mapNetErr(werr)
 }
 
 // Recv implements Conn. A deadline expiry mid-frame leaves the partial
@@ -315,7 +365,7 @@ func (t *tcpConn) Recv() (*wire.Message, error) {
 			t.hdrN = 0
 			return nil, wire.ErrFrameTooLarge
 		}
-		t.body = make([]byte, size)
+		t.body = wire.GetBuf(int(size))
 		t.bodyN = 0
 	}
 	for t.bodyN < len(t.body) {
@@ -330,7 +380,9 @@ func (t *tcpConn) Recv() (*wire.Message, error) {
 	}
 	body := t.body
 	t.hdrN, t.body, t.bodyN = 0, nil, 0
-	return wire.Decode(body)
+	m, err := wire.DecodePooled(body)
+	wire.PutBuf(body)
+	return m, err
 }
 
 // Close implements Conn.

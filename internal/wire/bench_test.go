@@ -5,38 +5,154 @@ import (
 	"testing"
 )
 
-func benchMessage(half bool) *Message {
+func benchMessage(enc Encoding) *Message {
 	rng := rand.New(rand.NewSource(1))
 	data := make([]float64, 64*32)
 	for i := range data {
 		data[i] = rng.NormFloat64()
 	}
 	return &Message{Type: MsgForward, Layer: 3, Expert: 1, Seq: 9,
-		Tensors: []Matrix{{Rows: 64, Cols: 32, Data: data, Half: half}}}
+		Tensors: []Matrix{{Rows: 64, Cols: 32, Data: data, Enc: enc}}}
 }
 
-func BenchmarkEncodeFull(b *testing.B) {
-	m := benchMessage(false)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mustEncode(b, m)
+var benchEncodings = []Encoding{EncFP64, EncFP16, EncInt8}
+
+// BenchmarkEncodeFrame measures the destination-passing encoder with a
+// reused buffer — the steady-state send path. Must be 0 allocs/op.
+func BenchmarkEncodeFrame(b *testing.B) {
+	for _, enc := range benchEncodings {
+		b.Run(enc.String(), func(b *testing.B) {
+			m := benchMessage(enc)
+			dst := make([]byte, 0, EncodedSize(m))
+			b.SetBytes(int64(EncodedSize(m)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, err = AppendFrame(dst[:0], m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
-func BenchmarkEncodeHalf(b *testing.B) {
-	m := benchMessage(true)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mustEncode(b, m)
+// BenchmarkFrameEncoder measures the scatter-gather encoder used by the
+// TCP transport (pooled segments, no flat copy). Steady state draws every
+// segment from the codec pools: 0 allocs/op.
+func BenchmarkFrameEncoder(b *testing.B) {
+	for _, enc := range benchEncodings {
+		b.Run(enc.String(), func(b *testing.B) {
+			m := benchMessage(enc)
+			var fe FrameEncoder
+			b.SetBytes(int64(EncodedSize(m)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fe.Encode(m); err != nil {
+					b.Fatal(err)
+				}
+				fe.Release()
+			}
+		})
 	}
 }
 
-func BenchmarkDecodeFull(b *testing.B) {
-	body := mustEncode(b, benchMessage(false))[4:]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Decode(body); err != nil {
-			b.Fatal(err)
+// BenchmarkDecodeFrame measures the pooled decode path of the TCP
+// transport: DecodePooled draws the message shell and tensor payloads from
+// the codec pools, Release returns them. Steady state is 0 allocs/op.
+func BenchmarkDecodeFrame(b *testing.B) {
+	for _, enc := range benchEncodings {
+		b.Run(enc.String(), func(b *testing.B) {
+			body := mustEncode(b, benchMessage(enc))[4:]
+			b.SetBytes(int64(len(body) + 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := DecodePooled(body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				Release(m)
+			}
+		})
+	}
+}
+
+// stepFrames builds the frames one forward dispatch of one MoE layer puts
+// on the wire under the paper's geometry (H = 4096 features), either
+// coalesced (one multi-tensor frame per worker) or per-expert (one frame
+// per routed expert).
+func stepFrames(enc Encoding, coalesce bool) []*Message {
+	const (
+		workers   = 4
+		perWorker = 4
+		rows      = 8
+		features  = 4096
+	)
+	rng := rand.New(rand.NewSource(7))
+	batch := func() Matrix {
+		data := make([]float64, rows*features)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		return Matrix{Rows: rows, Cols: features, Data: data, Enc: enc}
+	}
+	var msgs []*Message
+	for w := 0; w < workers; w++ {
+		if coalesce {
+			ids := make([]float64, perWorker)
+			tensors := make([]Matrix, 0, 1+perWorker)
+			tensors = append(tensors, Matrix{Rows: 1, Cols: perWorker, Data: ids})
+			for e := 0; e < perWorker; e++ {
+				ids[e] = float64(w*perWorker + e)
+				tensors = append(tensors, batch())
+			}
+			msgs = append(msgs, &Message{Type: MsgForwardMulti, Layer: 0,
+				Expert: ExpertCoalesced, Seq: uint64(w), Tensors: tensors})
+			continue
+		}
+		for e := 0; e < perWorker; e++ {
+			msgs = append(msgs, &Message{Type: MsgForward, Layer: 0,
+				Expert: int32(w*perWorker + e), Seq: uint64(w*perWorker + e),
+				Tensors: []Matrix{batch()}})
+		}
+	}
+	return msgs
+}
+
+// BenchmarkStepBytes reports the wire bytes and frame count of one layer's
+// forward dispatch per encoding and dispatch mode — the numbers behind the
+// fp16 ≤ 30% and int8 ≤ 18% of fp64 bytes/step targets, and the
+// one-frame-per-worker coalescing win. ns/op covers encoding every frame
+// of the step through the scatter-gather encoder.
+func BenchmarkStepBytes(b *testing.B) {
+	for _, enc := range benchEncodings {
+		for _, mode := range []struct {
+			name     string
+			coalesce bool
+		}{{"per-expert", false}, {"coalesced", true}} {
+			b.Run(enc.String()+"/"+mode.name, func(b *testing.B) {
+				msgs := stepFrames(enc, mode.coalesce)
+				total := 0
+				for _, m := range msgs {
+					total += EncodedSize(m)
+				}
+				var fe FrameEncoder
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, m := range msgs {
+						if _, _, err := fe.Encode(m); err != nil {
+							b.Fatal(err)
+						}
+						fe.Release()
+					}
+				}
+				b.ReportMetric(float64(total), "bytes/step")
+				b.ReportMetric(float64(len(msgs)), "frames/step")
+			})
 		}
 	}
 }

@@ -57,6 +57,12 @@ func TestDecodeRejectsOverflowingTensorHeaders(t *testing.T) {
 		// allocate gigabytes before noticing.
 		{"multi-GiB-claim", 1 << 20, 1 << 10, 0},
 		{"huge-single-dim", 0xFFFFFFFF, 1, 1},
+		// int8: the per-row scale block alone (8 bytes per claimed row)
+		// overruns the body; must be caught before 8*rows overflows or a
+		// huge value-count allocation happens.
+		{"int8-scale-block-overrun", 1 << 28, 1, 2},
+		{"int8-product-overflow", 1 << 30, 1 << 30, 2},
+		{"int8-max-dims", 0xFFFFFFFF, 0xFFFFFFFF, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -96,9 +102,22 @@ func FuzzDecode(f *testing.F) {
 	f.Add(mustEncode(f, &Message{Type: MsgForward, Layer: 1, Expert: 2, Seq: 3,
 		Tensors: []Matrix{{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}}})[4:])
 	f.Add(mustEncode(f, &Message{Type: MsgBackward,
-		Tensors: []Matrix{{Rows: 1, Cols: 3, Data: []float64{1, 2, 3}, Half: true}}})[4:])
+		Tensors: []Matrix{{Rows: 1, Cols: 3, Data: []float64{1, 2, 3}, Enc: EncFP16}}})[4:])
+	f.Add(mustEncode(f, &Message{Type: MsgForward,
+		Tensors: []Matrix{{Rows: 2, Cols: 4, Data: []float64{1, -2, 3, -4, 5, -6, 7, -8}, Enc: EncInt8}}})[4:])
+	// Coalesced multi-tensor frame: id row + two batches in mixed encodings.
+	f.Add(mustEncode(f, &Message{Type: MsgForwardMulti, Layer: 1, Expert: ExpertCoalesced, Seq: 5,
+		Tensors: []Matrix{
+			{Rows: 1, Cols: 2, Data: []float64{3, 7}},
+			{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}, Enc: EncInt8},
+			{Rows: 1, Cols: 2, Data: []float64{5, 6}, Enc: EncFP16},
+		}})[4:])
 	f.Add(adversarialTensorFrame(1<<30, 1<<30, 0, 16))
 	f.Add(adversarialTensorFrame(0xFFFFFFFF, 2, 1, 64))
+	// int8 scale-block bounds: the 8-byte-per-row scale block alone
+	// overruns the body.
+	f.Add(adversarialTensorFrame(1<<28, 1, 2, 64))
+	f.Add(adversarialTensorFrame(0xFFFFFFFF, 0xFFFFFFFF, 2, 64))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		m, err := Decode(body)
 		if err != nil {

@@ -1,11 +1,15 @@
 // Package wire defines the binary message protocol spoken between VELA's
 // master process and its Expert Manager workers: length-prefixed frames
 // carrying typed messages (expert assignment, token batches, expert
-// outputs, gradient batches, optimizer control) with dense float payloads.
+// outputs, gradient batches, optimizer control) with dense float payloads
+// in one of three encodings (fp64, fp16, int8 — see Encoding).
 //
 // The framing is deliberately simple — 4-byte little-endian length, 1-byte
 // message type, then a type-specific payload — so both the in-process
-// channel transport and the TCP transport can share one codec.
+// channel transport and the TCP transport can share one codec. The hot
+// encode/decode paths are destination-passing and pool-backed
+// (AppendFrame, FrameEncoder, DecodePooled/Release): a steady-state
+// exchange round allocates nothing.
 package wire
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 )
 
 // MsgType discriminates frame payloads.
@@ -66,22 +71,54 @@ const (
 	// MsgSnapshotResult carries the copied weights back in MsgAssign
 	// layout.
 	MsgSnapshotResult
+	// MsgForwardMulti is the coalesced dispatch frame: every per-expert
+	// token batch a worker owes for one layer, in one frame (the fused
+	// all-to-all idea in broker form). Tensors[0] is a 1×K row of expert
+	// ids; Tensors[1..K] are the corresponding batches.
+	MsgForwardMulti
+	// MsgForwardMultiResult mirrors MsgForwardMulti's layout with the
+	// expert outputs.
+	MsgForwardMultiResult
+	// MsgBackwardMulti is the coalesced gradient dispatch frame, in
+	// MsgForwardMulti layout.
+	MsgBackwardMulti
+	// MsgBackwardMultiResult mirrors MsgBackwardMulti with the input
+	// gradients.
+	MsgBackwardMultiResult
 )
+
+// msgTypeNames is the package-level name table. String runs inside trace
+// and error paths; building a map per call would put an allocation (and a
+// hash walk) on the hot path.
+var msgTypeNames = [...]string{
+	MsgAssign:              "assign",
+	MsgForward:             "forward",
+	MsgForwardResult:       "forward_result",
+	MsgBackward:            "backward",
+	MsgBackwardResult:      "backward_result",
+	MsgZeroGrad:            "zero_grad",
+	MsgStep:                "step",
+	MsgAck:                 "ack",
+	MsgError:               "error",
+	MsgShutdown:            "shutdown",
+	MsgStats:               "stats",
+	MsgStatsResult:         "stats_result",
+	MsgFetch:               "fetch",
+	MsgFetchResult:         "fetch_result",
+	MsgPing:                "ping",
+	MsgPong:                "pong",
+	MsgSnapshot:            "snapshot",
+	MsgSnapshotResult:      "snapshot_result",
+	MsgForwardMulti:        "forward_multi",
+	MsgForwardMultiResult:  "forward_multi_result",
+	MsgBackwardMulti:       "backward_multi",
+	MsgBackwardMultiResult: "backward_multi_result",
+}
 
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
-	names := map[MsgType]string{
-		MsgAssign: "assign", MsgForward: "forward", MsgForwardResult: "forward_result",
-		MsgBackward: "backward", MsgBackwardResult: "backward_result",
-		MsgZeroGrad: "zero_grad", MsgStep: "step", MsgAck: "ack",
-		MsgError: "error", MsgShutdown: "shutdown",
-		MsgStats: "stats", MsgStatsResult: "stats_result",
-		MsgFetch: "fetch", MsgFetchResult: "fetch_result",
-		MsgPing: "ping", MsgPong: "pong",
-		MsgSnapshot: "snapshot", MsgSnapshotResult: "snapshot_result",
-	}
-	if n, ok := names[t]; ok {
-		return n
+	if int(t) < len(msgTypeNames) && msgTypeNames[t] != "" {
+		return msgTypeNames[t]
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -93,6 +130,9 @@ func (t MsgType) String() string {
 //	ForwardResult:   Layer, Expert, Seq, Tensors[0] = outputs [n, d]
 //	Backward:        Layer, Expert, Seq, Tensors[0] = dY [n, d]
 //	BackwardResult:  Layer, Expert, Seq, Tensors[0] = dX [n, d]
+//	ForwardMulti /   Layer, Seq, Expert = -1, Tensors[0] = [1, K] expert-id
+//	BackwardMulti:   row (fp64), Tensors[1..K] = per-expert batches; the
+//	                 *MultiResult reply mirrors the layout with outputs
 //	ZeroGrad/Ack/Shutdown/Stats/Ping/Pong: no payload
 //	Step:            Layer = step ordinal (> 0), so a worker that already
 //	                 applied the ordinal acks a post-failover re-broadcast
@@ -110,14 +150,18 @@ type Message struct {
 	Tensors []Matrix
 }
 
-// Matrix is a dense row-major float64 payload. When Half is set the
-// values travel as IEEE binary16 on the wire (2 bytes per value instead
-// of 8) — the paper's 16-bit feature exchange — at the cost of ~3 decimal
-// digits of precision.
+// ExpertCoalesced is the Expert stamp of a coalesced multi-expert frame:
+// one frame carries every expert's batch for a worker, so no single
+// expert id applies.
+const ExpertCoalesced int32 = -1
+
+// Matrix is a dense row-major float64 payload. Enc selects its on-wire
+// representation; in memory the values are always float64, so compute
+// code never sees an encoding.
 type Matrix struct {
 	Rows, Cols int
 	Data       []float64
-	Half       bool
+	Enc        Encoding
 }
 
 // PayloadFloats returns the total number of float64 values carried.
@@ -129,21 +173,42 @@ func (m *Message) PayloadFloats() int {
 	return n
 }
 
+// sizeOf is the single source of truth for frame sizes: EncodedSize,
+// Encode/AppendFrame and the FrameEncoder all account bytes through it,
+// so the size computation and the writers can never silently drift. The
+// returned size includes the 4-byte length prefix.
+func sizeOf(m *Message) int {
+	// type(1) + layer(4) + expert(4) + seq(8) + textLen(4)+text +
+	// ntensors(4), then per tensor rows(4)+cols(4)+encoding(1)+payload.
+	body := 1 + 4 + 4 + 8 + 4 + len(m.Text) + 4
+	for i := range m.Tensors {
+		t := &m.Tensors[i]
+		body += 9 + t.Enc.payloadBytes(t.Rows, len(t.Data))
+	}
+	return 4 + body
+}
+
 // EncodedSize returns the full frame size (length prefix included) that
 // Encode would produce for m, without allocating. Observability hooks use
 // it to account frame bytes on the hot path; an invalid tensor geometry
 // (which Encode rejects) still yields the nominal size.
-func EncodedSize(m *Message) int {
-	body := 1 + 4 + 4 + 8 + 4 + len(m.Text) + 4
-	for _, t := range m.Tensors {
-		body += 9
-		if t.Half {
-			body += 2 * len(t.Data)
-		} else {
-			body += 8 * len(t.Data)
+func EncodedSize(m *Message) int { return sizeOf(m) }
+
+// validateTensors rejects the messages the encoders refuse to frame: a
+// matrix whose Rows×Cols disagrees with its data length (silently
+// encoding it would hand the peer an undecodable frame) or an unknown
+// encoding.
+func validateTensors(m *Message) error {
+	for i := range m.Tensors {
+		t := &m.Tensors[i]
+		if t.Rows*t.Cols != len(t.Data) {
+			return fmt.Errorf("wire: tensor %d is %dx%d with %d values", i, t.Rows, t.Cols, len(t.Data))
+		}
+		if !t.Enc.Valid() {
+			return fmt.Errorf("wire: tensor %d has unknown encoding %d", i, t.Enc)
 		}
 	}
-	return 4 + body
+	return nil
 }
 
 // ErrFrameTooLarge guards against corrupted length prefixes.
@@ -153,76 +218,151 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 // smaller.
 const MaxFrameSize = 1 << 30
 
+// AppendFrame appends the complete frame for m (length prefix included)
+// to dst and returns the extended slice — the destination-passing encoder
+// of the hot path: with a reused dst of sufficient capacity it performs
+// zero allocations. Invalid tensor geometry is reported as an error with
+// dst unchanged.
+func AppendFrame(dst []byte, m *Message) ([]byte, error) {
+	if err := validateTensors(m); err != nil {
+		return dst, err
+	}
+	total := sizeOf(m)
+	dst = slices.Grow(dst, total)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(total-4))
+	dst = appendHeader(dst, m)
+	for i := range m.Tensors {
+		dst = appendTensor(dst, &m.Tensors[i])
+	}
+	return dst, nil
+}
+
+// appendHeader appends the structural message header (everything between
+// the length prefix and the first tensor). dst must have capacity.
+func appendHeader(dst []byte, m *Message) []byte {
+	dst = append(dst, byte(m.Type))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Layer))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Expert))
+	dst = binary.LittleEndian.AppendUint64(dst, m.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Text)))
+	dst = append(dst, m.Text...)
+	return binary.LittleEndian.AppendUint32(dst, uint32(len(m.Tensors)))
+}
+
+// appendTensor appends one tensor block (header + encoded payload). dst
+// must have capacity for the 9 + payload bytes appended.
+func appendTensor(dst []byte, t *Matrix) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(t.Rows))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(t.Cols))
+	dst = append(dst, byte(t.Enc))
+	switch t.Enc {
+	case EncFP16:
+		return appendFP16Payload(dst, t.Data)
+	case EncInt8:
+		return appendInt8Payload(dst, t.Data, t.Rows, t.Cols)
+	}
+	return appendFP64Payload(dst, t.Data)
+}
+
+// appendFP64Payload writes the values little-endian, eight at a time (the
+// bulk loop keeps the bounds check and the Float64bits conversion off the
+// per-value critical path). dst must have capacity.
+func appendFP64Payload(dst []byte, vals []float64) []byte {
+	off := len(dst)
+	dst = dst[:off+8*len(vals)]
+	i := 0
+	for ; i+8 <= len(vals); i += 8 {
+		b := dst[off+8*i : off+8*i+64]
+		binary.LittleEndian.PutUint64(b, math.Float64bits(vals[i]))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(vals[i+1]))
+		binary.LittleEndian.PutUint64(b[16:], math.Float64bits(vals[i+2]))
+		binary.LittleEndian.PutUint64(b[24:], math.Float64bits(vals[i+3]))
+		binary.LittleEndian.PutUint64(b[32:], math.Float64bits(vals[i+4]))
+		binary.LittleEndian.PutUint64(b[40:], math.Float64bits(vals[i+5]))
+		binary.LittleEndian.PutUint64(b[48:], math.Float64bits(vals[i+6]))
+		binary.LittleEndian.PutUint64(b[56:], math.Float64bits(vals[i+7]))
+	}
+	for ; i < len(vals); i++ {
+		binary.LittleEndian.PutUint64(dst[off+8*i:], math.Float64bits(vals[i]))
+	}
+	return dst
+}
+
+// appendFP16Payload writes binary16 values little-endian, eight at a
+// time. dst must have capacity.
+func appendFP16Payload(dst []byte, vals []float64) []byte {
+	off := len(dst)
+	dst = dst[:off+2*len(vals)]
+	i := 0
+	for ; i+8 <= len(vals); i += 8 {
+		b := dst[off+2*i : off+2*i+16]
+		binary.LittleEndian.PutUint16(b, Float64ToHalf(vals[i]))
+		binary.LittleEndian.PutUint16(b[2:], Float64ToHalf(vals[i+1]))
+		binary.LittleEndian.PutUint16(b[4:], Float64ToHalf(vals[i+2]))
+		binary.LittleEndian.PutUint16(b[6:], Float64ToHalf(vals[i+3]))
+		binary.LittleEndian.PutUint16(b[8:], Float64ToHalf(vals[i+4]))
+		binary.LittleEndian.PutUint16(b[10:], Float64ToHalf(vals[i+5]))
+		binary.LittleEndian.PutUint16(b[12:], Float64ToHalf(vals[i+6]))
+		binary.LittleEndian.PutUint16(b[14:], Float64ToHalf(vals[i+7]))
+	}
+	for ; i < len(vals); i++ {
+		binary.LittleEndian.PutUint16(dst[off+2*i:], Float64ToHalf(vals[i]))
+	}
+	return dst
+}
+
+// decodeFP64Payload expands 8·len(dst) little-endian bytes into dst,
+// eight values at a time.
+func decodeFP64Payload(src []byte, dst []float64) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		b := src[8*i : 8*i+64]
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		dst[i+1] = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+		dst[i+2] = math.Float64frombits(binary.LittleEndian.Uint64(b[16:]))
+		dst[i+3] = math.Float64frombits(binary.LittleEndian.Uint64(b[24:]))
+		dst[i+4] = math.Float64frombits(binary.LittleEndian.Uint64(b[32:]))
+		dst[i+5] = math.Float64frombits(binary.LittleEndian.Uint64(b[40:]))
+		dst[i+6] = math.Float64frombits(binary.LittleEndian.Uint64(b[48:]))
+		dst[i+7] = math.Float64frombits(binary.LittleEndian.Uint64(b[56:]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}
+
 // Encode serializes m into a self-contained frame (including the length
 // prefix). A matrix whose Rows×Cols disagrees with its data length is
 // reported as an error: silently encoding it would hand the peer an
 // undecodable frame, and panicking would take down whichever runtime
-// process tried to send it.
+// process tried to send it. Hot paths should prefer AppendFrame with a
+// reused destination buffer.
 func Encode(m *Message) ([]byte, error) {
-	// Compute body size: type(1) + layer(4) + expert(4) + seq(8) +
-	// textLen(4)+text + ntensors(4) + per tensor
-	// rows(4)+cols(4)+encoding(1)+data.
-	body := 1 + 4 + 4 + 8 + 4 + len(m.Text) + 4
-	for i, t := range m.Tensors {
-		if t.Rows*t.Cols != len(t.Data) {
-			return nil, fmt.Errorf("wire: tensor %d is %dx%d with %d values", i, t.Rows, t.Cols, len(t.Data))
-		}
-		body += 9 // rows, cols, encoding byte
-		if t.Half {
-			body += 2 * len(t.Data)
-		} else {
-			body += 8 * len(t.Data)
-		}
-	}
-	buf := make([]byte, 4+body)
-	binary.LittleEndian.PutUint32(buf, uint32(body))
-	off := 4
-	buf[off] = byte(m.Type)
-	off++
-	binary.LittleEndian.PutUint32(buf[off:], uint32(m.Layer))
-	off += 4
-	binary.LittleEndian.PutUint32(buf[off:], uint32(m.Expert))
-	off += 4
-	binary.LittleEndian.PutUint64(buf[off:], m.Seq)
-	off += 8
-	binary.LittleEndian.PutUint32(buf[off:], uint32(len(m.Text)))
-	off += 4
-	copy(buf[off:], m.Text)
-	off += len(m.Text)
-	binary.LittleEndian.PutUint32(buf[off:], uint32(len(m.Tensors)))
-	off += 4
-	for _, t := range m.Tensors {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(t.Rows))
-		off += 4
-		binary.LittleEndian.PutUint32(buf[off:], uint32(t.Cols))
-		off += 4
-		if t.Half {
-			buf[off] = 1
-			off++
-			for _, v := range t.Data {
-				h := Float64ToHalf(v)
-				buf[off] = byte(h)
-				buf[off+1] = byte(h >> 8)
-				off += 2
-			}
-		} else {
-			buf[off] = 0
-			off++
-			for _, v := range t.Data {
-				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
-				off += 8
-			}
-		}
-	}
-	return buf, nil
+	return AppendFrame(nil, m)
 }
 
-// Decode parses one frame body (without the 4-byte length prefix).
+// allocFloats is Decode's payload allocator: fresh slices the caller may
+// retain forever. DecodePooled substitutes the pool allocator.
+var allocFloats = func(n int) []float64 { return make([]float64, n) }
+
+// Decode parses one frame body (without the 4-byte length prefix) into a
+// freshly allocated message the caller owns outright.
 func Decode(body []byte) (*Message, error) {
-	if len(body) < 25 {
-		return nil, fmt.Errorf("wire: frame body too short (%d bytes)", len(body))
-	}
 	m := &Message{}
+	if err := decodeBody(m, body, allocFloats); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// decodeBody parses one frame body into m, drawing tensor payloads from
+// alloc. It is the single decoder behind Decode (fresh allocations) and
+// DecodePooled (codec pools); every header field is bounds-checked
+// against the remaining body before anything is allocated.
+func decodeBody(m *Message, body []byte, alloc func(int) []float64) error {
+	if len(body) < 25 {
+		return fmt.Errorf("wire: frame body too short (%d bytes)", len(body))
+	}
 	off := 0
 	m.Type = MsgType(body[off])
 	off++
@@ -234,64 +374,76 @@ func Decode(body []byte) (*Message, error) {
 	off += 8
 	textLen := int(binary.LittleEndian.Uint32(body[off:]))
 	off += 4
-	if off+textLen > len(body) {
-		return nil, fmt.Errorf("wire: text length %d overruns frame", textLen)
+	if textLen < 0 || off+textLen > len(body) {
+		return fmt.Errorf("wire: text length %d overruns frame", textLen)
 	}
 	m.Text = string(body[off : off+textLen])
 	off += textLen
 	if off+4 > len(body) {
-		return nil, errors.New("wire: truncated tensor count")
+		return errors.New("wire: truncated tensor count")
 	}
 	nT := int(binary.LittleEndian.Uint32(body[off:]))
 	off += 4
+	m.Tensors = m.Tensors[:0]
 	for i := 0; i < nT; i++ {
 		if off+8 > len(body) {
-			return nil, errors.New("wire: truncated tensor header")
+			return errors.New("wire: truncated tensor header")
 		}
 		rows := int(binary.LittleEndian.Uint32(body[off:]))
 		off += 4
 		cols := int(binary.LittleEndian.Uint32(body[off:]))
 		off += 4
 		if off >= len(body) {
-			return nil, errors.New("wire: truncated tensor encoding byte")
+			return errors.New("wire: truncated tensor encoding byte")
 		}
-		enc := body[off]
+		encByte := body[off]
 		off++
-		if enc > 1 {
-			return nil, fmt.Errorf("wire: tensor %d has unknown encoding %d", i, enc)
+		if encByte >= numEncodings {
+			return fmt.Errorf("wire: tensor %d has unknown encoding %d", i, encByte)
 		}
-		width := 8
-		if enc == 1 {
-			width = 2
-		}
+		enc := Encoding(encByte)
 		// Validate the header against the remaining body BEFORE computing
 		// rows*cols or allocating: a hostile frame can carry rows/cols
 		// near 2^31 whose product (or its width-scaled byte count)
 		// overflows int and would otherwise slip past the bound check or
-		// trigger a multi-GiB allocation. maxVals caps each dimension, so
-		// the subsequent product check cannot overflow.
-		maxVals := (len(body) - off) / width
-		if rows < 0 || cols < 0 ||
-			(rows > 0 && cols > 0 && (cols > maxVals || rows > maxVals/cols)) {
-			return nil, fmt.Errorf("wire: tensor %d (%dx%d) overruns frame", i, rows, cols)
+		// trigger a multi-GiB allocation. Each dimension is capped against
+		// the remaining bytes first, so the product check cannot overflow.
+		rem := len(body) - off
+		if rows < 0 || cols < 0 {
+			return fmt.Errorf("wire: tensor %d (%dx%d) overruns frame", i, rows, cols)
+		}
+		if enc == EncInt8 {
+			// The per-row scale block precedes the values; account it
+			// before bounding the value count.
+			if rows > rem/8 {
+				return fmt.Errorf("wire: tensor %d (%dx%d) overruns frame", i, rows, cols)
+			}
+			rem -= 8 * rows
+		}
+		width := enc.BitsPerValue() / 8
+		maxVals := rem / width
+		if rows > 0 && cols > 0 && (cols > maxVals || rows > maxVals/cols) {
+			return fmt.Errorf("wire: tensor %d (%dx%d) overruns frame", i, rows, cols)
 		}
 		n := rows * cols
-		data := make([]float64, n)
-		if enc == 1 {
+		data := alloc(n)
+		switch enc {
+		case EncFP16:
 			HalfDecode(body[off:off+2*n], data)
 			off += 2 * n
-		} else {
-			for j := range data {
-				data[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
-				off += 8
-			}
+		case EncInt8:
+			decodeInt8Payload(body[off:off+8*rows+n], data, rows, cols)
+			off += 8*rows + n
+		default:
+			decodeFP64Payload(body[off:off+8*n], data)
+			off += 8 * n
 		}
-		m.Tensors = append(m.Tensors, Matrix{Rows: rows, Cols: cols, Data: data, Half: enc == 1})
+		m.Tensors = append(m.Tensors, Matrix{Rows: rows, Cols: cols, Data: data, Enc: enc})
 	}
 	if off != len(body) {
-		return nil, fmt.Errorf("wire: %d trailing bytes in frame", len(body)-off)
+		return fmt.Errorf("wire: %d trailing bytes in frame", len(body)-off)
 	}
-	return m, nil
+	return nil
 }
 
 // WriteFrame writes a full frame for m to w.
@@ -307,7 +459,10 @@ func WriteFrame(w io.Writer, m *Message) error {
 	return err
 }
 
-// ReadFrame reads one frame from r and decodes it.
+// ReadFrame reads one frame from r and decodes it. The frame body is
+// staged in a pooled buffer and returned to the pool after decoding; the
+// resulting message is freshly allocated (Decode semantics) and owned by
+// the caller.
 func ReadFrame(r io.Reader) (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -317,9 +472,12 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, n)
+	body := GetBuf(int(n))
 	if _, err := io.ReadFull(r, body); err != nil {
+		PutBuf(body)
 		return nil, fmt.Errorf("wire: reading %d-byte body: %w", n, err)
 	}
-	return Decode(body)
+	m, err := Decode(body)
+	PutBuf(body)
+	return m, err
 }

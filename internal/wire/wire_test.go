@@ -111,7 +111,7 @@ func TestPayloadFloats(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for mt := MsgAssign; mt <= MsgFetchResult; mt++ {
+	for mt := MsgAssign; mt <= MsgBackwardMultiResult; mt++ {
 		if s := mt.String(); s == "" || s[0] == 'M' {
 			t.Fatalf("missing name for type %d: %q", mt, s)
 		}
@@ -141,5 +141,132 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRoundTripEncodings: the Enc byte survives the round trip and the
+// decoded values match the encoding's reference quantization.
+func TestRoundTripEncodings(t *testing.T) {
+	src := []float64{1.5, -2.25, 0.125, 3e-3, -7.5, 42}
+	for _, enc := range []Encoding{EncFP64, EncFP16, EncInt8} {
+		m := &Message{Type: MsgForward, Tensors: []Matrix{
+			{Rows: 2, Cols: 3, Data: append([]float64(nil), src...), Enc: enc}}}
+		got, err := Decode(mustEncode(t, m)[4:])
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		tr := got.Tensors[0]
+		if tr.Enc != enc || tr.Rows != 2 || tr.Cols != 3 {
+			t.Fatalf("%v: header mangled: %+v", enc, tr)
+		}
+		want := append([]float64(nil), src...)
+		switch enc {
+		case EncFP16:
+			for i, v := range want {
+				want[i] = HalfToFloat64(Float64ToHalf(v))
+			}
+		case EncInt8:
+			QuantizeInt8InPlace(want, 2, 3)
+		}
+		for i := range want {
+			//lint:ignore floateq decode must reproduce the reference quantization bit-for-bit; tolerance would mask codec drift
+			if tr.Data[i] != want[i] {
+				t.Fatalf("%v value %d: got %g, want %g", enc, i, tr.Data[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsUnknownEncoding: an encoding byte outside the known
+// range must be rejected, not treated as fp64.
+func TestDecodeRejectsUnknownEncoding(t *testing.T) {
+	body := adversarialTensorFrame(1, 1, 3, 8)
+	if _, err := Decode(body); err == nil {
+		t.Fatal("unknown encoding byte accepted")
+	}
+}
+
+// TestDecodePooledRoundTrip: the pooled decoder must reproduce the frame
+// exactly, and pool reuse after Release must not corrupt a second decode.
+func TestDecodePooledRoundTrip(t *testing.T) {
+	m := &Message{Type: MsgForwardMulti, Layer: 2, Expert: ExpertCoalesced, Seq: 11,
+		Tensors: []Matrix{
+			{Rows: 1, Cols: 2, Data: []float64{4, 9}},
+			{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}},
+			{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}},
+		}}
+	body := mustEncode(t, m)[4:]
+	check := func(got *Message) {
+		t.Helper()
+		if got.Type != m.Type || got.Layer != m.Layer || got.Expert != m.Expert || got.Seq != m.Seq {
+			t.Fatalf("header mismatch: %+v", got)
+		}
+		if len(got.Tensors) != len(m.Tensors) {
+			t.Fatalf("tensor count %d, want %d", len(got.Tensors), len(m.Tensors))
+		}
+		for i, tr := range got.Tensors {
+			want := m.Tensors[i]
+			if tr.Rows != want.Rows || tr.Cols != want.Cols || !reflect.DeepEqual(tr.Data, want.Data) {
+				t.Fatalf("tensor %d mismatch: %+v vs %+v", i, tr, want)
+			}
+		}
+	}
+	for round := 0; round < 3; round++ {
+		got, err := DecodePooled(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(got)
+		Release(got)
+	}
+}
+
+// TestFrameEncoderMatchesEncode: the scatter-gather segments, concatenated,
+// must be byte-identical to the flat encoder's output for every encoding.
+func TestFrameEncoderMatchesEncode(t *testing.T) {
+	for _, enc := range []Encoding{EncFP64, EncFP16, EncInt8} {
+		m := &Message{Type: MsgForward, Layer: 1, Expert: 2, Seq: 3, Text: "x",
+			Tensors: []Matrix{
+				{Rows: 2, Cols: 3, Data: []float64{1, -2, 3, -4, 5, -6}, Enc: enc},
+				{Rows: 1, Cols: 1, Data: []float64{math.Pi}},
+			}}
+		flat := mustEncode(t, m)
+		var fe FrameEncoder
+		segs, total, err := fe.Encode(m)
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		if total != len(flat) {
+			t.Fatalf("%v: total %d, want %d", enc, total, len(flat))
+		}
+		var joined []byte
+		for _, s := range segs {
+			joined = append(joined, s...)
+		}
+		if !bytes.Equal(joined, flat) {
+			t.Fatalf("%v: scatter-gather bytes differ from flat encoding", enc)
+		}
+		fe.Release()
+	}
+}
+
+// TestAppendFrameZeroAlloc: with a pre-sized destination the hot-path
+// encoder must not allocate, for any encoding.
+func TestAppendFrameZeroAlloc(t *testing.T) {
+	for _, enc := range []Encoding{EncFP64, EncFP16, EncInt8} {
+		m := &Message{Type: MsgForward, Tensors: []Matrix{
+			{Rows: 16, Cols: 16, Data: make([]float64, 256), Enc: enc}}}
+		dst := make([]byte, 0, EncodedSize(m))
+		allocs := testing.AllocsPerRun(100, func() {
+			var err error
+			dst, err = AppendFrame(dst[:0], m)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		//lint:ignore floateq AllocsPerRun returns an integer-valued average; the contract is exactly zero
+		if allocs != 0 {
+			t.Errorf("%v: AppendFrame allocated %.1f times per run", enc, allocs)
+		}
 	}
 }
