@@ -7,7 +7,7 @@ GO ?= go
 # machines where cgo/race is unavailable or slow; CI always runs them.
 RACE ?= 1
 
-.PHONY: build test vet lint race race-core bench bench-obs bench-wire bench-all chaos shift check
+.PHONY: build test vet lint race race-core bench bench-obs bench-wire bench-all chaos shift restart check
 
 build:
 	$(GO) build ./...
@@ -102,6 +102,15 @@ chaos:
 # comm-bytes-per-step phases to BENCH_replace.json.
 shift:
 	$(GO) run ./examples/shift
+
+# Crash-resume acceptance run: a checkpointing child process is
+# SIGKILLed mid-training, its newest generation is deliberately torn,
+# and the resume must fall back a generation, continue bit-identically,
+# and re-admit a killed-then-restarted worker (experts migrated back by
+# the re-placement controller). Self-checking; writes the measured
+# checkpoint/resume costs to BENCH_ckpt.json.
+restart:
+	$(GO) run ./examples/restart
 
 # Pre-merge gate: vet + velavet + full race-enabled test suite (the
 # race target covers internal/obs, so the tracer's striped ring and the

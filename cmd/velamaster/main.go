@@ -27,6 +27,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/metrics"
 	"repro/internal/moe"
@@ -49,7 +50,17 @@ type runOptions struct {
 	replaceCooldown int
 	wireEncoding    wire.Encoding
 	coalesce        bool
+	ckptDir         string
+	ckptEvery       int
+	ckptKeep        int
+	resume          bool
 }
+
+// runSeeds are the RNG seeds of the deterministic prelude (profile,
+// fine-tune batcher). They ride in every run-level checkpoint so a
+// resume against different seeds fails loudly instead of silently
+// diverging.
+var runSeeds = []int64{41, 43}
 
 func main() {
 	workers := flag.String("workers", "", "comma-separated worker addresses (required)")
@@ -67,10 +78,17 @@ func main() {
 	replaceCooldown := flag.Int("replace-cooldown", 0, "step boundaries the controller stays quiet after acting (0 = controller default)")
 	wireEncoding := flag.String("wire-encoding", "fp16", "activation/gradient wire encoding: fp64|fp16|int8")
 	coalesce := flag.Bool("coalesce", true, "coalesce each worker's per-expert batches into one frame per direction per layer")
+	checkpointDir := flag.String("checkpoint-dir", "", "run-level checkpoint directory (empty disables durable checkpointing)")
+	checkpointEvery := flag.Int("checkpoint-every", 5, "checkpoint after every N completed steps")
+	checkpointKeep := flag.Int("checkpoint-keep", checkpoint.DefaultRunKeep, "checkpoint generations to retain")
+	resume := flag.Bool("resume", false, "resume from the newest valid generation in -checkpoint-dir")
 	flag.Parse()
 
 	if *workers == "" {
 		log.Fatal("velamaster: -workers is required")
+	}
+	if *resume && *checkpointDir == "" {
+		log.Fatal("velamaster: -resume requires -checkpoint-dir")
 	}
 	enc, err := wire.ParseEncoding(*wireEncoding)
 	if err != nil {
@@ -80,6 +98,7 @@ func main() {
 		snapshotPath: *snapshotPath, heartbeat: *heartbeat, requestTimeout: *requestTimeout,
 		metricsAddr: *metricsAddr, replaceDrift: *replaceDrift, replaceCooldown: *replaceCooldown,
 		wireEncoding: enc, coalesce: *coalesce,
+		ckptDir: *checkpointDir, ckptEvery: *checkpointEvery, ckptKeep: *checkpointKeep, resume: *resume,
 	}
 	if err := run(strings.Split(*workers, ","), *devicesPerNode, *dataset, *strategy, *steps, *pretrainSteps, *ckptPath, opts); err != nil {
 		log.Fatalf("velamaster: %v", err)
@@ -205,10 +224,14 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		fmt.Printf("metrics on http://%s/metrics (healthz, debug/pprof alongside)\n", srv.Addr)
 	}
 
-	fmt.Println("distributing experts to workers...")
 	spec := broker.ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: lora.Rank, LoRAAlpha: lora.Alpha}
-	if err := exec.Distribute(grid, spec); err != nil {
-		return err
+	if opts.resume {
+		fmt.Println("resuming: experts will be restored from the run checkpoint, not re-distributed")
+	} else {
+		fmt.Println("distributing experts to workers...")
+		if err := exec.Distribute(grid, spec); err != nil {
+			return err
+		}
 	}
 	model.SetExecutor(exec)
 
@@ -219,6 +242,14 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 	sup.Obs = handle
 	sup.OnFailover = func(dead []int, next *placement.Assignment) {
 		fmt.Printf("  failover: workers %v lost; experts re-placed over survivors\n", dead)
+	}
+	// Rejoin: the heartbeat redials dead workers; a restarted velaworker
+	// answers the handshake and is re-admitted at the next step boundary.
+	sup.Redial = func(n int) (transport.Conn, error) {
+		return transport.Dial(strings.TrimSpace(addrs[n]))
+	}
+	sup.OnRejoin = func(n int) {
+		fmt.Printf("  worker %d rejoined; experts eligible to migrate back\n", n)
 	}
 	sup.Start()
 	defer sup.Stop()
@@ -260,34 +291,91 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		fmt.Printf("\n%v — finishing current step, then flushing snapshot and shutting down\n", s)
 	}()
 
-	fmt.Printf("fine-tuning for %d steps on %s...\n", steps, corpus.Name)
 	backbone := nn.CollectTrainable(model.Params())
+	opt := nn.NewAdamW(backbone, nn.PaperAdamWConfig())
+	batcher := data.NewBatcher(corpus, 2, 32, 43)
 	ft := &trainer.Finetuner{
 		Model:      model,
 		Backbone:   backbone,
-		Opt:        nn.NewAdamW(backbone, nn.PaperAdamWConfig()),
-		Batcher:    data.NewBatcher(corpus, 2, 32, 43),
+		Opt:        opt,
+		Batcher:    batcher,
 		ExpertZero: exec.ZeroGrads,
 		ExpertStep: exec.Step,
 		Obs:        handle,
 		Recover:    sup.Recover,
-		OnStep: func(step int) error {
-			// Snapshot before the controller may migrate, so a failover right
-			// after a migration restores post-migration state.
-			if err := sup.Checkpoint(step); err != nil {
+	}
+
+	// Run-level checkpointing: everything the resume needs to continue
+	// bit-identically rides in one RunCapture.
+	runCap := &core.RunCapture{
+		Backbone: backbone, Opt: opt, Exec: exec, Sup: sup,
+		Cursor: batcher.Cursor, Seek: batcher.SeekTo,
+		Drift: handle.Drift, Ctrl: ctrl, Losses: &ft.Losses, Seeds: runSeeds,
+	}
+	var writer *checkpoint.AsyncWriter
+	var runCk *core.RunCheckpointer
+	if opts.ckptDir != "" {
+		store := &checkpoint.RunStore{Dir: opts.ckptDir, Keep: opts.ckptKeep}
+		if opts.resume {
+			t0 := time.Now()
+			rs, err := store.LoadLatest()
+			if err != nil {
+				return fmt.Errorf("resume: %w", err)
+			}
+			if len(rs.Seeds) > 0 && !equalSeeds(rs.Seeds, runSeeds) {
+				return fmt.Errorf("resume: checkpoint seeds %v do not match this build's prelude seeds %v", rs.Seeds, runSeeds)
+			}
+			if err := core.RestoreRun(rs, runCap); err != nil {
+				return fmt.Errorf("resume: %w", err)
+			}
+			ft.StartStep = rs.Step
+			// Seed the supervisor's failover restore point from the
+			// checkpointed expert state just re-shipped to the workers.
+			if err := sup.Checkpoint(rs.Step - 1); err != nil {
+				return fmt.Errorf("resume: seeding failover snapshot: %w", err)
+			}
+			handle.Ckpt.SetResume(rs.Generation, time.Since(t0).Seconds())
+			fmt.Printf("resumed from generation %d at step %d (%v)\n",
+				rs.Generation, rs.Step, time.Since(t0).Round(time.Millisecond))
+		}
+		writer = checkpoint.NewAsyncWriter(store, handle.Ckpt)
+		defer writer.Close()
+		runCk = &core.RunCheckpointer{Every: opts.ckptEvery, Cap: runCap, W: writer, Stats: handle.Ckpt}
+		fmt.Printf("run-level checkpointing to %s (every %d steps, keep %d)\n",
+			opts.ckptDir, opts.ckptEvery, opts.ckptKeep)
+	}
+
+	ft.OnStep = func(step int) error {
+		// Snapshot before the controller may migrate, so a failover right
+		// after a migration restores post-migration state.
+		if err := sup.Checkpoint(step); err != nil {
+			return err
+		}
+		if admitted := sup.AdmitRejoins(); len(admitted) > 0 {
+			fmt.Printf("  step %d: re-admitted worker(s) %v\n", step+1, admitted)
+			if ctrl != nil {
+				// Nudge the controller: with the worker back, re-solving may
+				// migrate its experts home under the usual cost gate.
+				ctrl.RequestResolve(fmt.Sprintf("worker rejoin %v", admitted))
+			}
+		}
+		if ctrl != nil {
+			if err := ctrl.OnStep(step); err != nil {
 				return err
 			}
-			if ctrl != nil {
-				if err := ctrl.OnStep(step); err != nil {
-					return err
-				}
+		}
+		if runCk != nil {
+			if err := runCk.OnStep(step); err != nil {
+				return err
 			}
-			if stopRequested.Load() {
-				return errStopped
-			}
-			return nil
-		},
+		}
+		if stopRequested.Load() {
+			return errStopped
+		}
+		return nil
 	}
+
+	fmt.Printf("fine-tuning for %d steps on %s...\n", steps, corpus.Name)
 	start := time.Now()
 	err = ft.Run(steps, func(step int, loss float64) {
 		if (step+1)%5 == 0 || step == 0 {
@@ -299,6 +387,14 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 	}
 	elapsed := time.Since(start)
 	sup.Stop()
+	if writer != nil {
+		if cerr := writer.Close(); cerr != nil {
+			fmt.Printf("checkpoint writer: %v\n", cerr)
+		}
+		c := handle.Ckpt.Snapshot()
+		fmt.Printf("checkpoints: %d written, %d skipped (writer busy), %d failed; newest generation %d (%d bytes, %.1f ms write)\n",
+			c.Writes, c.Skips, c.Failures, c.Generation, c.LastBytes, c.LastWrite*1e3)
+	}
 
 	if opts.snapshotPath != "" {
 		if err := sup.SaveLatest(opts.snapshotPath); err != nil {
@@ -307,7 +403,11 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		fmt.Printf("flushed expert snapshot to %s\n", opts.snapshotPath)
 	}
 
-	fmt.Printf("\ndone in %v (%.3f s/step)\n", elapsed.Round(time.Millisecond), elapsed.Seconds()/float64(steps))
+	ran := steps - ft.StartStep // a resumed run only drives the remainder
+	if ran < 1 {
+		ran = 1
+	}
+	fmt.Printf("\ndone in %v (%.3f s/step)\n", elapsed.Round(time.Millisecond), elapsed.Seconds()/float64(ran))
 	fmt.Printf("traffic: %.1f MB total, %.1f MB cross-node\n",
 		float64(exec.Traffic.TotalBytes())/1e6, float64(exec.Traffic.CrossNodeBytes())/1e6)
 	for n, w := range exec.Traffic.Snapshot() {
@@ -322,6 +422,18 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 		return err
 	}
 	return exec.Shutdown()
+}
+
+func equalSeeds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func plural(n int64, one, many string) string {

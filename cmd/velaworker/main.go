@@ -89,29 +89,52 @@ func main() {
 		connMu.Unlock()
 	}()
 
-	c, err := l.Accept()
-	if err != nil {
-		if interrupted.Load() {
-			fmt.Printf("velaworker %d: shut down before a master connected\n", *id)
-			return
-		}
-		log.Fatalf("velaworker: accept: %v", err)
-	}
-	connMu.Lock()
-	conn = c
-	connMu.Unlock()
-	defer c.Close()
-
 	wcfg := broker.DefaultWorkerConfig()
 	wcfg.Obs = handle
 	wcfg.ReplyEncoding = replyEnc
-	w := broker.NewWorker(*id, wcfg)
-	if err := w.Serve(transport.WithMeter(c, handle)); err != nil {
-		if interrupted.Load() && errors.Is(err, transport.ErrClosed) {
-			fmt.Printf("velaworker %d: drained and shut down after hosting %d experts\n", *id, w.NumExperts())
+
+	// Serve masters in a re-accept loop: when the connection drops (a
+	// crashed master, a network fault), the worker goes back to the
+	// listener and waits for the master — resumed from its run-level
+	// checkpoint, or redialing a rejoin — to connect again. Each
+	// connection gets a FRESH Worker: a reconnecting master always
+	// re-provisions expert state itself (RestoreExperts on resume, the
+	// replace controller's migrate-back after a rejoin), so stale local
+	// state must not survive the connection.
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if interrupted.Load() {
+				fmt.Printf("velaworker %d: shut down while awaiting a master\n", *id)
+				return
+			}
+			log.Fatalf("velaworker: accept: %v", err)
+		}
+		connMu.Lock()
+		conn = c
+		connMu.Unlock()
+
+		w := broker.NewWorker(*id, wcfg)
+		err = w.Serve(transport.WithMeter(c, handle))
+		connMu.Lock()
+		conn = nil
+		connMu.Unlock()
+		//lint:ignore errdispatch the serve loop already returned; the close error carries no signal
+		_ = c.Close()
+		if err == nil {
+			// MsgShutdown: the master ended the run.
+			fmt.Printf("velaworker %d: clean shutdown after hosting %d experts\n", *id, w.NumExperts())
 			return
 		}
-		log.Fatalf("velaworker: serve: %v", err)
+		if interrupted.Load() {
+			if errors.Is(err, transport.ErrClosed) {
+				fmt.Printf("velaworker %d: drained and shut down after hosting %d experts\n", *id, w.NumExperts())
+			} else {
+				fmt.Printf("velaworker %d: shut down (%v) after hosting %d experts\n", *id, err, w.NumExperts())
+			}
+			return
+		}
+		fmt.Printf("velaworker %d: connection lost (%v) after hosting %d experts — awaiting reconnect\n",
+			*id, err, w.NumExperts())
 	}
-	fmt.Printf("velaworker %d: clean shutdown after hosting %d experts\n", *id, w.NumExperts())
 }

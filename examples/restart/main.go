@@ -1,0 +1,442 @@
+// Restart: durable checkpointing under a real SIGKILL. The harness runs
+// three phases of the same deterministic deployment:
+//
+//  1. A failure-free in-process reference run records the ground-truth
+//     loss trajectory.
+//  2. A child process trains with run-level checkpointing (one durable
+//     generation per step) and is SIGKILLed mid-run, once enough
+//     generations are on disk. The parent then truncates the newest
+//     generation to simulate a torn write.
+//  3. The parent resumes from the checkpoint directory: the store must
+//     fall back past the damaged generation, the restored run must
+//     continue bit-identically — while a worker is additionally killed
+//     mid-resume, failed over, restarted, re-admitted via the rejoin
+//     path, and handed its experts back by the re-placement controller.
+//
+// Self-checking: the resumed trajectory must equal the reference
+// bit-for-bit (AdamW moments included), the fallback generation must be
+// newest-1, and the rejoined worker must host experts again at the end.
+// Emits BENCH_ckpt.json with the measured checkpoint/resume costs.
+//
+// Run with: go run ./examples/restart
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/moe"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/replace"
+	"repro/internal/testutil"
+	"repro/internal/trainer"
+	"repro/internal/transport"
+)
+
+const (
+	workers      = 3
+	totalSteps   = 12
+	killWorker   = 2 // the worker killed and rejoined during the resumed phase
+	batch        = 2
+	seqLen       = 16
+	batchSeed    = 7
+	killAfterGen = 6 // SIGKILL the child once this generation is durable
+)
+
+// exampleSeeds ride in every checkpoint so a resume against a different
+// prelude fails loudly (mirrors velamaster's runSeeds).
+var exampleSeeds = []int64{batchSeed}
+
+func main() {
+	childDir := flag.String("child-ckpt-dir", "", "internal: run the checkpointing child phase against this directory")
+	flag.Parse()
+	if *childDir != "" {
+		if err := runChild(*childDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runParent(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// benchReport is the BENCH_ckpt.json schema.
+type benchReport struct {
+	NewestGenAtKill   uint64  `json:"newest_generation_at_kill"`
+	ResumedGeneration uint64  `json:"resumed_generation_after_corruption"`
+	ResumeSeconds     float64 `json:"resume_seconds"`
+	CheckpointWrites  uint64  `json:"resumed_phase_checkpoint_writes"`
+	CheckpointSkips   uint64  `json:"resumed_phase_checkpoint_skips"`
+	CheckpointBytes   int64   `json:"checkpoint_bytes"`
+	WriteMillis       float64 `json:"checkpoint_write_ms"`
+	BitIdentical      bool    `json:"loss_bit_identical_to_failure_free"`
+	WorkerRejoins     int64   `json:"worker_rejoins"`
+	ExpertsOnRejoined int     `json:"experts_back_on_rejoined_worker"`
+}
+
+func runParent() error {
+	fmt.Println("phase 1: failure-free reference run...")
+	refSys, err := buildSystem(false)
+	if err != nil {
+		return err
+	}
+	refSys.ft.OnStep = func(step int) error {
+		if err := refSys.sup.Checkpoint(step); err != nil {
+			return err
+		}
+		return refSys.ctrl.OnStep(step)
+	}
+	if err := refSys.ft.Run(totalSteps, nil); err != nil {
+		return err
+	}
+	ref := refSys.ft.Losses.Values
+	if err := refSys.exec.Shutdown(); err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "vela-restart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("phase 2: spawning checkpointing child, SIGKILL once generation %d is durable...\n", killAfterGen)
+	child := osexec.Command(os.Args[0], "-child-ckpt-dir", dir)
+	child.Stdout, child.Stderr = os.Stdout, os.Stderr
+	if err := child.Start(); err != nil {
+		return err
+	}
+	store := &checkpoint.RunStore{Dir: dir}
+	newest, err := waitForGeneration(store, killAfterGen, 60*time.Second)
+	if err != nil {
+		//lint:ignore errdispatch the wait already failed; the kill error adds nothing
+		_ = child.Process.Kill()
+		return err
+	}
+	if err := child.Process.Kill(); err != nil {
+		return err
+	}
+	werr := child.Wait() // "signal: killed" — the SIGKILL is the point
+	fmt.Printf("  child killed at generation >= %d (%v)\n", newest, werr)
+
+	// Re-read: a save may have landed between the poll and the kill.
+	gens, err := store.Generations()
+	if err != nil {
+		return err
+	}
+	newest = gens[len(gens)-1]
+	victim := filepath.Join(dir, checkpoint.RunGenFile(newest))
+	info, err := os.Stat(victim)
+	if err != nil {
+		return err
+	}
+	if err := os.Truncate(victim, info.Size()*2/3); err != nil {
+		return err
+	}
+	fmt.Printf("  truncated newest generation %d (%d -> %d bytes) to simulate a torn write\n",
+		newest, info.Size(), info.Size()*2/3)
+
+	fmt.Println("phase 3: resuming from the damaged directory...")
+	sys, err := buildSystem(true)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	rs, err := store.LoadLatest()
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	if rs.Generation != newest-1 {
+		return fmt.Errorf("resume loaded generation %d, want fallback to %d", rs.Generation, newest-1)
+	}
+	// Experts are NOT re-distributed: RestoreRun ships the checkpointed
+	// state (AdamW moments included) and installs the checkpointed
+	// assignment — the resume path velamaster -resume takes.
+	if err := core.RestoreRun(rs, sys.cap); err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	sys.ft.StartStep = rs.Step
+	if err := sys.sup.Checkpoint(rs.Step - 1); err != nil {
+		return err
+	}
+	sys.handle.Ckpt.SetResume(rs.Generation, time.Since(t0).Seconds())
+	fmt.Printf("  resumed at step %d from generation %d (%v)\n",
+		rs.Step, rs.Generation, time.Since(t0).Round(time.Millisecond))
+
+	writer := checkpoint.NewAsyncWriter(store, sys.handle.Ckpt)
+	runCk := &core.RunCheckpointer{Every: 1, Cap: sys.cap, W: writer, Stats: sys.handle.Ckpt}
+	killStep := rs.Step + 1    // sever worker 2's connection after this completed step
+	rejoinStep := killStep + 1 // restart and re-admit it at the following boundary
+	sys.ft.OnStep = func(step int) error {
+		if err := sys.sup.Checkpoint(step); err != nil {
+			return err
+		}
+		if step == killStep {
+			fmt.Printf("  step %d: severing worker %d's connection mid-resume\n", step+1, killWorker)
+			sys.faulty.ArmClose(0)
+		}
+		if step == rejoinStep {
+			// "Restart" the worker: a fresh Expert Manager on a fresh
+			// connection, re-admitted through the supervisor's rejoin path.
+			repl := broker.StartLocalWorkers(1, sys.wcfg)
+			if err := sys.sup.Rejoin(killWorker, repl.Conns[0]); err != nil {
+				return err
+			}
+			fmt.Printf("  step %d: worker %d restarted and rejoined\n", step+1, killWorker)
+			sys.ctrl.RequestResolve(fmt.Sprintf("worker %d rejoined", killWorker))
+		}
+		if err := sys.ctrl.OnStep(step); err != nil {
+			return err
+		}
+		return runCk.OnStep(step)
+	}
+	if err := sys.ft.Run(totalSteps, nil); err != nil {
+		return err
+	}
+	if err := writer.Close(); err != nil {
+		return err
+	}
+	if err := sys.exec.Shutdown(); err != nil {
+		return err
+	}
+
+	// Verdicts.
+	bitIdentical := testutil.BitEqualSlices(ref, sys.ft.Losses.Values)
+	rc := sys.exec.Recovery.Snapshot()
+	back := 0
+	for _, row := range sys.exec.Assignment().Worker {
+		for _, w := range row {
+			if w == killWorker {
+				back++
+			}
+		}
+	}
+	ck := sys.handle.Ckpt.Snapshot()
+
+	fmt.Printf("\n%-6s %-14s %-14s\n", "step", "failure-free", "kill+resume")
+	for s := range ref {
+		fmt.Printf("%-6d %-14.6f %-14.6f\n", s, ref[s], sys.ft.Losses.Values[s])
+	}
+	fmt.Printf("\nrecovery: %d failover(s), %d rejoin(s), %d expert(s) restored, %d step retries\n",
+		rc.WorkerFailovers, rc.WorkerRejoins, rc.ExpertsRecovered, rc.StepRetries)
+	fmt.Printf("worker %d hosts %d experts after migrate-back\n", killWorker, back)
+
+	report := benchReport{
+		NewestGenAtKill:   newest,
+		ResumedGeneration: rs.Generation,
+		ResumeSeconds:     ck.ResumeSec,
+		CheckpointWrites:  ck.Writes,
+		CheckpointSkips:   ck.Skips,
+		CheckpointBytes:   ck.LastBytes,
+		WriteMillis:       ck.LastWrite * 1e3,
+		BitIdentical:      bitIdentical,
+		WorkerRejoins:     rc.WorkerRejoins,
+		ExpertsOnRejoined: back,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_ckpt.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_ckpt.json")
+
+	switch {
+	case !bitIdentical:
+		return fmt.Errorf("FAIL: resumed trajectory diverged from the failure-free run")
+	case rc.WorkerRejoins != 1:
+		return fmt.Errorf("FAIL: %d worker rejoins, want 1", rc.WorkerRejoins)
+	case back == 0:
+		return fmt.Errorf("FAIL: no experts migrated back to rejoined worker %d", killWorker)
+	}
+	fmt.Println("PASS: SIGKILL + torn-write fallback + worker rejoin, loss trajectory bit-identical")
+	return nil
+}
+
+// runChild is phase 2's victim: it trains with one durable generation
+// per completed step and sleeps between steps so the parent can SIGKILL
+// it mid-run with generations on disk.
+func runChild(dir string) error {
+	sys, err := buildSystem(false)
+	if err != nil {
+		return err
+	}
+	store := &checkpoint.RunStore{Dir: dir}
+	sys.ft.OnStep = func(step int) error {
+		if err := sys.sup.Checkpoint(step); err != nil {
+			return err
+		}
+		if err := sys.ctrl.OnStep(step); err != nil {
+			return err
+		}
+		// Synchronous save: the generation is durable before the step
+		// boundary returns, so the parent's SIGKILL can land anywhere.
+		rs, err := core.CaptureRun(step, sys.cap)
+		if err != nil {
+			return err
+		}
+		gen, _, err := store.Save(rs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  child: step %d durable as generation %d\n", step+1, gen)
+		time.Sleep(150 * time.Millisecond)
+		return nil
+	}
+	if err := sys.ft.Run(totalSteps, nil); err != nil {
+		return err
+	}
+	return sys.exec.Shutdown()
+}
+
+// waitForGeneration polls the store until generation want is durable.
+func waitForGeneration(store *checkpoint.RunStore, want uint64, timeout time.Duration) (uint64, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		gens, err := store.Generations()
+		if err == nil && len(gens) > 0 && gens[len(gens)-1] >= want {
+			return gens[len(gens)-1], nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("child produced no generation >= %d within %v", want, timeout)
+}
+
+// system is one fully wired deterministic deployment. Every phase builds
+// an identical one — the resume contract is that the prelude is a pure
+// function of its seeds, with all mutable state poured in by RestoreRun.
+type system struct {
+	handle *obs.Handle
+	wcfg   broker.WorkerConfig
+	faulty *transport.Faulty
+	exec   *broker.Executor
+	sup    *broker.Supervisor
+	ctrl   *replace.Controller
+	ft     *trainer.Finetuner
+	cap    *core.RunCapture
+}
+
+func buildSystem(withFault bool) (*system, error) {
+	cfg := moe.Config{Vocab: data.VocabSize, D: 16, Heads: 2, Hidden: 24, Layers: 3, Experts: 3, TopK: 2}
+	pre := trainer.DefaultPretrain()
+	pre.Steps = 60
+	model, grid, err := trainer.BuildPretrained(cfg, 8000, pre)
+	if err != nil {
+		return nil, err
+	}
+	lora := trainer.LoRAConfig{Rank: 2, Alpha: 4, Seed: 21}
+	trainer.PrepareForFinetune(model, grid, lora)
+	corpus := data.Shakespeare(6000)
+
+	handle := obs.NewHandle(obs.Config{Workers: workers, Layers: cfg.Layers, Experts: cfg.Experts})
+	wcfg := broker.DefaultWorkerConfig()
+	wcfg.Obs = handle
+	dep := broker.StartLocalWorkers(workers, wcfg)
+	conns := append([]transport.Conn(nil), dep.Conns...)
+	var faulty *transport.Faulty
+	if withFault {
+		faulty = transport.NewFaulty(conns[killWorker], 7, transport.FaultPlan{})
+		conns[killWorker] = faulty
+	}
+
+	prob := uniformProblem(cfg)
+	assign, err := (placement.Sequential{}).Place(prob)
+	if err != nil {
+		return nil, err
+	}
+	exec := broker.NewExecutor(conns, assign)
+	exec.RequestTimeout = 2 * time.Second
+	exec.Recovery = &metrics.Recovery{}
+	exec.Obs = handle
+	spec := broker.ExpertSpec{D: cfg.D, Hidden: cfg.Hidden, LoRARank: lora.Rank, LoRAAlpha: lora.Alpha}
+	// The fresh experts shipped here are the run's real state for the
+	// reference and child phases; the resumed phase overwrites them
+	// wholesale when RestoreRun re-provisions from the checkpoint.
+	if err := exec.Distribute(grid, spec); err != nil {
+		return nil, err
+	}
+	model.SetExecutor(exec)
+	model.SetObs(handle)
+	handle.Drift.SetBaseline(prob.P)
+
+	sup := broker.NewSupervisor(exec, prob, broker.SupervisorConfig{})
+	sup.Obs = handle
+	sup.OnFailover = func(dead []int, next *placement.Assignment) {
+		fmt.Printf("  supervisor: worker(s) %v declared dead, experts failed over\n", dead)
+	}
+
+	// The controller is armed but its drift trigger is far out of reach
+	// (threshold 10 over an L1 signal bounded by 2): only the explicit
+	// rejoin nudge can start a re-solve. The generous amortization horizon
+	// lets the migrate-back pass the cost gate on this tiny deployment.
+	ctrl, err := replace.New(prob, handle, exec, replace.Config{
+		DriftThreshold: 10,
+		AmortizeSteps:  500,
+		ExpertBytes:    spec.PayloadBytes(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	backbone := nn.CollectTrainable(model.Params())
+	opt := nn.NewAdamW(backbone, nn.PaperAdamWConfig())
+	batcher := data.NewBatcher(corpus, batch, seqLen, batchSeed)
+	ft := &trainer.Finetuner{
+		Model:      model,
+		Backbone:   backbone,
+		Opt:        opt,
+		Batcher:    batcher,
+		ExpertZero: exec.ZeroGrads,
+		ExpertStep: exec.Step,
+		Obs:        handle,
+		Recover:    sup.Recover,
+	}
+	cap := &core.RunCapture{
+		Backbone: backbone, Opt: opt, Exec: exec, Sup: sup,
+		Cursor: batcher.Cursor, Seek: batcher.SeekTo,
+		Drift: handle.Drift, Ctrl: ctrl, Losses: &ft.Losses, Seeds: exampleSeeds,
+	}
+	return &system{handle: handle, wcfg: wcfg, faulty: faulty, exec: exec,
+		sup: sup, ctrl: ctrl, ft: ft, cap: cap}, nil
+}
+
+// uniformProblem gives the placement machinery a valid instance: uniform
+// popularity, equal bandwidth, full-grid capacity.
+func uniformProblem(cfg moe.Config) *placement.Problem {
+	p := &placement.Problem{
+		Workers: workers, Layers: cfg.Layers, Experts: cfg.Experts,
+		P:               make([][]float64, cfg.Layers),
+		Bandwidth:       make([]float64, workers),
+		Capacity:        make([]int, workers),
+		RoutingsPerStep: float64(batch * seqLen * cfg.TopK),
+		BytesPerToken:   float64(2 * cfg.D),
+		WorkerNode:      make([]int, workers),
+	}
+	for l := range p.P {
+		p.P[l] = make([]float64, cfg.Experts)
+		for e := range p.P[l] {
+			p.P[l][e] = 1.0 / float64(cfg.Experts)
+		}
+	}
+	for n := 0; n < workers; n++ {
+		p.Bandwidth[n] = 1
+		p.Capacity[n] = cfg.Layers * cfg.Experts
+		p.WorkerNode[n] = n
+	}
+	return p
+}

@@ -16,6 +16,12 @@ import (
 	"repro/internal/wire"
 )
 
+// maxMomentPairs bounds the per-expert moment-pair count a decoder will
+// accept, guarding the tensor-count arithmetic against a corrupted
+// metadata row (an expert has a handful of trainable parameters, not
+// thousands).
+const maxMomentPairs = 1 << 10
+
 // ExpertSpec describes the architecture of a shipped expert so the
 // receiving worker can rebuild it before loading weights.
 type ExpertSpec struct {
@@ -39,47 +45,83 @@ func (s ExpertSpec) PayloadBytes() float64 {
 	return 8 * float64(values)
 }
 
-// encodeExpert serializes an expert into a MsgAssign message: a metadata
-// row followed by every parameter tensor in Params() order.
-func encodeExpert(e *moe.Expert, spec ExpertSpec) *wire.Message {
+// expertOptState is the worker-local optimizer slice that rides with an
+// expert on the wire since the VELAEXS2 metadata row: the AdamW
+// bias-correction clock and one (m, v) moment pair per trainable
+// parameter, in nn.CollectTrainable order. A nil state (or one with no
+// pairs) means "no optimizer state shipped" — the receiver starts the
+// expert with fresh moments, the pre-VELAEXS2 semantics.
+type expertOptState struct {
+	Step int
+	M, V []wire.Matrix
+}
+
+// encodeExpertState serializes an expert into a MsgAssign message: a
+// 6-column metadata row [D, Hidden, LoRARank, LoRAAlpha, numMomentPairs,
+// optStep], every parameter tensor in Params() order, then the (m, v)
+// moment-tensor pairs when opt is non-nil.
+func encodeExpertState(e *moe.Expert, spec ExpertSpec, opt *expertOptState) *wire.Message {
 	m := &wire.Message{
 		Type:   wire.MsgAssign,
 		Layer:  int32(e.ID.Layer),
 		Expert: int32(e.ID.Expert),
 	}
-	meta := wire.Matrix{Rows: 1, Cols: 4, Data: []float64{
+	pairs, step := 0, 0
+	if opt != nil {
+		pairs, step = len(opt.M), opt.Step
+	}
+	meta := wire.Matrix{Rows: 1, Cols: 6, Data: []float64{
 		float64(spec.D), float64(spec.Hidden), float64(spec.LoRARank), spec.LoRAAlpha,
+		float64(pairs), float64(step),
 	}}
 	m.Tensors = append(m.Tensors, meta)
 	for _, p := range e.Params() {
 		m.Tensors = append(m.Tensors, matrixOf(p.Value))
 	}
+	for i := 0; i < pairs; i++ {
+		m.Tensors = append(m.Tensors, opt.M[i], opt.V[i])
+	}
 	return m
 }
 
-// encodeExpertCopy is encodeExpert with every parameter tensor deep-
-// copied. Snapshot replies must not alias live parameter memory: over the
-// in-process transport the message travels by pointer, and an aliased
-// snapshot would keep mutating as training continues — the restored
-// state after a failover would then be whatever the weights drifted to,
-// not the step boundary the snapshot named.
-func encodeExpertCopy(e *moe.Expert, spec ExpertSpec) *wire.Message {
-	m := encodeExpert(e, spec)
+// encodeExpert is encodeExpertState without optimizer state: the initial
+// Distribute ships freshly built experts whose moments are zero anyway.
+func encodeExpert(e *moe.Expert, spec ExpertSpec) *wire.Message {
+	return encodeExpertState(e, spec, nil)
+}
+
+// encodeExpertCopy is encodeExpertState with every tensor deep-copied.
+// Snapshot replies must not alias live parameter or moment memory: over
+// the in-process transport the message travels by pointer, and an
+// aliased snapshot would keep mutating as training continues — the
+// restored state after a failover would then be whatever the weights
+// drifted to, not the step boundary the snapshot named.
+func encodeExpertCopy(e *moe.Expert, spec ExpertSpec, opt *expertOptState) *wire.Message {
+	m := encodeExpertState(e, spec, opt)
 	for i := range m.Tensors {
 		m.Tensors[i].Data = append([]float64(nil), m.Tensors[i].Data...)
 	}
 	return m
 }
 
-// decodeExpert rebuilds an expert from a MsgAssign message. The rebuild
-// uses a throwaway RNG — every weight is immediately overwritten by the
-// shipped values, so the architecture is all that matters.
+// decodeExpert rebuilds an expert from a MsgAssign message, discarding
+// any optimizer state it carries.
 func decodeExpert(m *wire.Message) (*moe.Expert, ExpertSpec, error) {
+	ex, spec, _, err := decodeExpertState(m)
+	return ex, spec, err
+}
+
+// decodeExpertState rebuilds an expert from a MsgAssign message, plus the
+// optimizer slice when the message carries one (nil otherwise). The
+// rebuild uses a throwaway RNG — every weight is immediately overwritten
+// by the shipped values, so the architecture is all that matters. Both
+// the legacy 4-column and the VELAEXS2 6-column metadata row decode.
+func decodeExpertState(m *wire.Message) (*moe.Expert, ExpertSpec, *expertOptState, error) {
 	if m.Type != wire.MsgAssign {
-		return nil, ExpertSpec{}, fmt.Errorf("broker: decodeExpert on %v message", m.Type)
+		return nil, ExpertSpec{}, nil, fmt.Errorf("broker: decodeExpert on %v message", m.Type)
 	}
-	if len(m.Tensors) < 1 || m.Tensors[0].Cols != 4 {
-		return nil, ExpertSpec{}, fmt.Errorf("broker: assign message missing metadata")
+	if len(m.Tensors) < 1 || (m.Tensors[0].Cols != 4 && m.Tensors[0].Cols != 6) {
+		return nil, ExpertSpec{}, nil, fmt.Errorf("broker: assign message missing metadata")
 	}
 	meta := m.Tensors[0].Data
 	spec := ExpertSpec{
@@ -89,7 +131,15 @@ func decodeExpert(m *wire.Message) (*moe.Expert, ExpertSpec, error) {
 		LoRAAlpha: meta[3],
 	}
 	if spec.D <= 0 || spec.Hidden <= 0 {
-		return nil, ExpertSpec{}, fmt.Errorf("broker: invalid expert spec %+v", spec)
+		return nil, ExpertSpec{}, nil, fmt.Errorf("broker: invalid expert spec %+v", spec)
+	}
+	pairs, optStep := 0, 0
+	if m.Tensors[0].Cols == 6 {
+		pairs, optStep = int(meta[4]), int(meta[5])
+		if pairs < 0 || pairs > maxMomentPairs || optStep < 0 {
+			return nil, ExpertSpec{}, nil, fmt.Errorf("broker: implausible optimizer state (%d pairs, step %d)",
+				pairs, optStep)
+		}
 	}
 	id := moe.ExpertID{Layer: int(m.Layer), Expert: int(m.Expert)}
 	rng := rand.New(rand.NewSource(1))
@@ -98,19 +148,38 @@ func decodeExpert(m *wire.Message) (*moe.Expert, ExpertSpec, error) {
 		ex.AttachLoRA(rng, spec.LoRARank, spec.LoRAAlpha)
 	}
 	params := ex.Params()
-	if len(m.Tensors)-1 != len(params) {
-		return nil, ExpertSpec{}, fmt.Errorf("broker: assign carries %d tensors, expert has %d params",
-			len(m.Tensors)-1, len(params))
+	if len(m.Tensors)-1 != len(params)+2*pairs {
+		return nil, ExpertSpec{}, nil, fmt.Errorf("broker: assign carries %d tensors, expert has %d params and %d moment pairs",
+			len(m.Tensors)-1, len(params), pairs)
 	}
 	for i, p := range params {
 		src := m.Tensors[i+1]
 		if src.Rows*src.Cols != p.Value.Len() {
-			return nil, ExpertSpec{}, fmt.Errorf("broker: param %d size mismatch (%dx%d vs %d)",
+			return nil, ExpertSpec{}, nil, fmt.Errorf("broker: param %d size mismatch (%dx%d vs %d)",
 				i, src.Rows, src.Cols, p.Value.Len())
 		}
 		copy(p.Value.Data, src.Data)
 	}
-	return ex, spec, nil
+	if pairs == 0 {
+		return ex, spec, nil, nil
+	}
+	trainable := nn.CollectTrainable(params)
+	if pairs != len(trainable) {
+		return nil, ExpertSpec{}, nil, fmt.Errorf("broker: assign carries %d moment pairs, expert has %d trainable params",
+			pairs, len(trainable))
+	}
+	st := &expertOptState{Step: optStep}
+	for i := 0; i < pairs; i++ {
+		mm, vv := m.Tensors[1+len(params)+2*i], m.Tensors[2+len(params)+2*i]
+		want := trainable[i].Value.Len()
+		if mm.Rows*mm.Cols != want || vv.Rows*vv.Cols != want {
+			return nil, ExpertSpec{}, nil, fmt.Errorf("broker: moment pair %d size mismatch (%d/%d vs %d)",
+				i, mm.Rows*mm.Cols, vv.Rows*vv.Cols, want)
+		}
+		st.M = append(st.M, mm)
+		st.V = append(st.V, vv)
+	}
+	return ex, spec, st, nil
 }
 
 // matrixOf views a tensor as a wire matrix (2-D as-is, otherwise as a

@@ -45,7 +45,12 @@ var ErrWorkerDead = errors.New("broker: worker marked dead")
 // An Executor is not safe for concurrent use: callers drive one exchange
 // or control round at a time, exactly as the training loop does.
 type Executor struct {
-	conns []transport.Conn
+	// conns holds one connection slot per worker. Each slot is an atomic
+	// box so a rejoin (training goroutine) can swap in a fresh connection
+	// while the supervisor's heartbeat goroutine concurrently reads the
+	// slot (MarkDead closes it to wake blocked rounds) — same publication
+	// discipline as assign.
+	conns []atomic.Pointer[connBox]
 	// assign is the active expert→worker placement, published by atomic
 	// pointer swap: migrations clone-and-swap (see Migrate) so the
 	// supervisor's goroutine and metrics scrapers can read Assignment()
@@ -115,6 +120,13 @@ type Executor struct {
 	resBufs map[resultKey]*tensor.Tensor
 }
 
+// connBox wraps a connection so a slot can be swapped atomically (an
+// interface value cannot live in an atomic.Pointer directly).
+type connBox struct{ c transport.Conn }
+
+// conn returns worker n's current connection.
+func (x *Executor) conn(n int) transport.Conn { return x.conns[n].Load().c }
+
 // resultKey identifies one persistent exchange-result buffer.
 type resultKey struct {
 	typ           wire.MsgType
@@ -147,7 +159,11 @@ const DefaultMaxRecvRetries = 2
 // NewExecutor builds a master-side executor over per-worker connections
 // and an expert-to-worker assignment.
 func NewExecutor(conns []transport.Conn, assign *placement.Assignment) *Executor {
-	x := &Executor{conns: conns, BytesPerValue: 2}
+	x := &Executor{BytesPerValue: 2}
+	x.conns = make([]atomic.Pointer[connBox], len(conns))
+	for i, c := range conns {
+		x.conns[i].Store(&connBox{c})
+	}
 	x.assign.Store(assign)
 	x.connSem = make([]chan struct{}, len(conns))
 	for i := range x.connSem {
@@ -171,8 +187,38 @@ func (x *Executor) MarkDead(n int) {
 		return
 	}
 	//lint:ignore errdispatch the worker is being abandoned; its close error carries no signal
-	_ = x.conns[n].Close()
+	_ = x.conn(n).Close()
 }
+
+// Rejoin re-admits a dead worker over a fresh connection: the slot is
+// swapped and the dead flag cleared, so subsequent rounds target the new
+// connection. The caller is responsible for re-provisioning the worker
+// (a restarted Expert Manager is empty — the replace controller migrates
+// experts back under its cost gate, or a run-level resume re-assigns
+// them outright). The swap holds the round semaphore, so a round already
+// draining on the old connection finishes before the slot changes.
+func (x *Executor) Rejoin(n int, conn transport.Conn) error {
+	if n < 0 || n >= len(x.conns) {
+		return fmt.Errorf("broker: rejoin of unknown worker %d", n)
+	}
+	if !x.dead[n].Load() {
+		return fmt.Errorf("broker: worker %d rejoin: not marked dead", n)
+	}
+	x.connSem[n] <- struct{}{}
+	x.conns[n].Store(&connBox{conn})
+	x.dead[n].Store(false)
+	<-x.connSem[n]
+	return nil
+}
+
+// StepOrdinal returns the ordinal of the last successfully broadcast
+// optimizer step (the dedup stamp workers compare MsgStep against).
+func (x *Executor) StepOrdinal() int { return x.stepOrd }
+
+// SetStepOrdinal overrides the step-ordinal counter. Run-level resume
+// uses it so ordinals stay monotonic across a master restart and a
+// surviving worker's dedup state remains coherent.
+func (x *Executor) SetStepOrdinal(ord int) { x.stepOrd = ord }
 
 // DeadMask returns the per-worker liveness flags in placement.Repair's
 // convention (true = dead).
@@ -267,7 +313,7 @@ func (x *Executor) pipelined(n int, msgs []*wire.Message, onSent func(i int), on
 		return err
 	}
 	defer x.release(n)
-	conn := x.conns[n]
+	conn := x.conn(n)
 	// Over a serializing transport replies are pooled decodes the broker
 	// owns; discarded ones (stale, duplicate, unknown, error) can be
 	// recycled here. Replies handed to onReply are the callback's to
@@ -568,7 +614,7 @@ func (x *Executor) exchangePerExpert(n, layer int, experts []int, batches map[in
 			x.Traffic.AddToWorker(n, int64(b.Rows()), x.logicalBytes(b.Rows(), b.Len()))
 		}
 	}
-	canRelease := transport.Copies(x.conns[n])
+	canRelease := transport.Copies(x.conn(n))
 	return x.pipelined(n, msgs, onSent, func(i int, reply *wire.Message) error {
 		if reply.Type != respType {
 			return fmt.Errorf("broker: worker %d sent unexpected %v", n, reply.Type)
@@ -635,7 +681,7 @@ func (x *Executor) exchangeCoalesced(n, layer int, experts []int, batches map[in
 			}
 		}
 	}
-	canRelease := transport.Copies(x.conns[n])
+	canRelease := transport.Copies(x.conn(n))
 	return x.pipelined(n, []*wire.Message{msg}, onSent, func(_ int, reply *wire.Message) error {
 		if reply.Type != multiResp {
 			return fmt.Errorf("broker: worker %d sent unexpected %v", n, reply.Type)
@@ -799,10 +845,12 @@ func (x *Executor) snapshotExpert(n, layer, e int) (*wire.Message, error) {
 	return payload, nil
 }
 
-// SnapshotExperts pulls a non-destructive copy of every hosted expert and
-// packages it as a step-stamped checkpoint snapshot — the state the
-// supervisor restores from when a worker dies. Live workers are queried
-// in parallel; the per-worker request streams are pipelined.
+// SnapshotExperts pulls a non-destructive copy of every hosted expert —
+// weights and, since VELAEXS2, the worker-local AdamW moment estimates —
+// and packages it as a step-stamped checkpoint snapshot: the state the
+// supervisor restores from when a worker dies, and the expert slice of a
+// run-level checkpoint. Live workers are queried in parallel; the
+// per-worker request streams are pipelined.
 func (x *Executor) SnapshotExperts(step int) (*checkpoint.ExpertSnapshot, error) {
 	assign := x.assign.Load()
 	type le struct{ l, e int }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // SupervisorConfig tunes failure detection. The zero value disables the
@@ -58,10 +59,23 @@ type Supervisor struct {
 	// with the workers declared dead in this round and the repaired
 	// assignment (useful for logging and test assertions).
 	OnFailover func(dead []int, next *placement.Assignment)
+	// Redial, when non-nil, is attempted by the heartbeat loop for every
+	// dead worker once per probe round: a restarted Expert Manager that
+	// listens again is re-discovered without operator action. A
+	// successfully handshaken connection is parked until the training
+	// goroutine calls AdmitRejoins at a step boundary — admission swaps
+	// the executor's connection slot, which must not race a training
+	// round on the old one.
+	Redial func(n int) (transport.Conn, error)
+	// OnRejoin, when non-nil, is invoked (from the admitting goroutine)
+	// for each worker re-admitted to the pool — the hook velamaster uses
+	// to nudge the replace controller about the restored capacity.
+	OnRejoin func(n int)
 
-	mu     sync.Mutex
-	latest *checkpoint.ExpertSnapshot
-	missed []int
+	mu      sync.Mutex
+	latest  *checkpoint.ExpertSnapshot
+	missed  []int
+	pending map[int]transport.Conn
 
 	stop chan struct{}
 	done chan struct{}
@@ -77,6 +91,7 @@ func NewSupervisor(exec *Executor, prob *placement.Problem, cfg SupervisorConfig
 		cfg:      cfg,
 		Recovery: exec.Recovery,
 		missed:   make([]int, exec.NumWorkers()),
+		pending:  make(map[int]transport.Conn),
 	}
 }
 
@@ -133,6 +148,7 @@ func (s *Supervisor) heartbeatLoop() {
 func (s *Supervisor) Probe() {
 	for n := 0; n < s.exec.NumWorkers(); n++ {
 		if !s.exec.Alive(n) {
+			s.tryRedial(n)
 			continue
 		}
 		err := s.exec.Ping(n)
@@ -150,6 +166,109 @@ func (s *Supervisor) Probe() {
 			s.exec.MarkDead(n)
 		}
 	}
+}
+
+// tryRedial attempts to reconnect one dead worker: dial, handshake, and
+// park the connection for AdmitRejoins. At most one pending connection
+// per worker; failures are silent (the next probe round tries again).
+func (s *Supervisor) tryRedial(n int) {
+	if s.Redial == nil {
+		return
+	}
+	s.mu.Lock()
+	_, already := s.pending[n]
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	conn, err := s.Redial(n)
+	if err != nil {
+		return
+	}
+	if err := s.handshake(conn); err != nil {
+		//lint:ignore errdispatch the handshake already failed; the close error adds nothing
+		_ = conn.Close()
+		return
+	}
+	s.mu.Lock()
+	s.pending[n] = conn
+	s.mu.Unlock()
+}
+
+// handshake verifies a fresh connection answers a ping within the
+// heartbeat interval (1s when the background loop is disabled). It runs
+// directly on the connection — the executor's pipelined path refuses
+// dead workers, and the slot swap has not happened yet.
+func (s *Supervisor) handshake(conn transport.Conn) error {
+	timeout := s.cfg.HeartbeatInterval
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	transport.SetRecvDeadline(conn, time.Now().Add(timeout))
+	defer transport.SetRecvDeadline(conn, time.Time{})
+	if err := conn.Send(&wire.Message{Type: wire.MsgPing}); err != nil {
+		return err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.MsgPong {
+		return fmt.Errorf("broker: rejoin handshake answered %v, want %v", reply.Type, wire.MsgPong)
+	}
+	return nil
+}
+
+// AdmitRejoins folds every parked (redialed and handshaken) connection
+// back into the executor and returns the re-admitted worker IDs. Call it
+// from the training goroutine at a step boundary, like Checkpoint and
+// Recover: admission swaps the worker's connection slot, which must
+// serialize with training rounds.
+func (s *Supervisor) AdmitRejoins() []int {
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	pending := s.pending
+	s.pending = make(map[int]transport.Conn)
+	s.mu.Unlock()
+	var admitted []int
+	for n, conn := range pending {
+		if err := s.Rejoin(n, conn); err != nil {
+			//lint:ignore errdispatch admission failed; the worker stays dead and the next probe redials
+			_ = conn.Close()
+			continue
+		}
+		admitted = append(admitted, n)
+	}
+	return admitted
+}
+
+// Rejoin re-admits dead worker n over conn: the executor's connection
+// slot is swapped (MarkAlive), the heartbeat miss counter re-armed, and
+// a verification ping driven through the normal pipelined path. On ping
+// failure the worker is marked dead again and the error returned — the
+// pool is never left with an unresponsive "live" worker. Call from the
+// training goroutine; in-process deployments (tests, examples) that
+// restart a worker themselves call this directly instead of wiring
+// Redial.
+func (s *Supervisor) Rejoin(n int, conn transport.Conn) error {
+	if err := s.exec.Rejoin(n, conn); err != nil {
+		return err
+	}
+	if err := s.exec.Ping(n); err != nil {
+		s.exec.MarkDead(n)
+		return fmt.Errorf("broker: rejoin verify ping of worker %d: %w", n, err)
+	}
+	s.mu.Lock()
+	s.missed[n] = 0
+	s.mu.Unlock()
+	s.Recovery.AddRejoin()
+	if s.OnRejoin != nil {
+		s.OnRejoin(n)
+	}
+	return nil
 }
 
 // Checkpoint pulls a step-stamped snapshot of every hosted expert and

@@ -67,9 +67,9 @@ func (b *chaosBatcher) Shape() (int, int) { return b.batch, b.seqLen }
 // chaosRun drives a short distributed fine-tune over three workers,
 // optionally killing worker 2 abruptly after step 1 via an armed Faulty
 // close, and returns the per-step losses plus the executor for state
-// assertions. Workers run SGD so a snapshot-restored expert recomputes
-// the retried step exactly (AdamW moments deliberately restart on
-// failover — that path is asserted separately, not for loss equality).
+// assertions. Workers run SGD here; the AdamW configuration — where
+// equality additionally requires the VELAEXS2 snapshot to carry the
+// optimizer moments — is TestChaosFailoverAdamWMomentsExact.
 func chaosRun(t *testing.T, kill bool) ([]float64, *Executor, *Supervisor, []error) {
 	t.Helper()
 	const steps, workers = 6, 3

@@ -75,6 +75,10 @@ type Worker struct {
 	specs   map[moe.ExpertID]ExpertSpec
 	locks   map[moe.ExpertID]*sync.Mutex
 	opt     nn.Optimizer
+	// momentSeeds holds AdamW moment state that arrived with a MsgAssign
+	// (a failover restore or run-level resume) before the optimizer
+	// existed; it is folded in when the optimizer is built or rebound.
+	momentSeeds map[moe.ExpertID]*expertOptState
 	// lastStep is the highest step ordinal applied (MsgStep.Layer > 0):
 	// a post-failover re-broadcast of an ordinal this worker already
 	// stepped is acked without stepping twice.
@@ -85,9 +89,10 @@ type Worker struct {
 func NewWorker(id int, cfg WorkerConfig) *Worker {
 	return &Worker{
 		ID: id, cfg: cfg,
-		experts: make(map[moe.ExpertID]*moe.Expert),
-		specs:   make(map[moe.ExpertID]ExpertSpec),
-		locks:   make(map[moe.ExpertID]*sync.Mutex),
+		experts:     make(map[moe.ExpertID]*moe.Expert),
+		specs:       make(map[moe.ExpertID]ExpertSpec),
+		locks:       make(map[moe.ExpertID]*sync.Mutex),
+		momentSeeds: make(map[moe.ExpertID]*expertOptState),
 	}
 }
 
@@ -211,7 +216,7 @@ func (w *Worker) Serve(conn interface {
 func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 	switch msg.Type {
 	case wire.MsgAssign:
-		ex, spec, err := decodeExpert(msg)
+		ex, spec, st, err := decodeExpertState(msg)
 		if err != nil {
 			return errMsg(msg, err), false
 		}
@@ -220,6 +225,13 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 		w.specs[ex.ID] = spec
 		w.locks[ex.ID] = &sync.Mutex{}
 		w.refreshOptimizer()
+		if st != nil {
+			// Shipped optimizer state (failover restore, migration, or
+			// run-level resume): seed it into the live optimizer now, or
+			// stash it for the lazy build at the first Step.
+			w.momentSeeds[ex.ID] = st
+			w.applyMomentSeeds()
+		}
 		w.mu.Unlock()
 		return &wire.Message{Type: wire.MsgAck, Layer: msg.Layer, Expert: msg.Expert, Seq: msg.Seq}, false
 
@@ -228,17 +240,22 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 		w.mu.Lock()
 		ex, ok := w.experts[id]
 		spec := w.specs[id]
+		var st *expertOptState
 		if ok {
+			// Capture the optimizer slice before the rebind below drops it,
+			// so the fetched expert carries its moments to the next host.
+			st = w.optStateOf(ex)
 			delete(w.experts, id)
 			delete(w.specs, id)
 			delete(w.locks, id)
+			delete(w.momentSeeds, id)
 			w.refreshOptimizer()
 		}
 		w.mu.Unlock()
 		if !ok {
 			return errMsg(msg, fmt.Errorf("broker: worker %d does not host %v", w.ID, id)), false
 		}
-		out := encodeExpert(ex, spec)
+		out := encodeExpertState(ex, spec, st)
 		out.Type = wire.MsgFetchResult
 		out.Seq = msg.Seq
 		return out, false
@@ -286,6 +303,7 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 				return errMsg(msg, err), false
 			}
 			w.opt = opt
+			w.applyMomentSeeds()
 		}
 		w.opt.Step()
 		if ord > 0 {
@@ -305,8 +323,9 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 		var out *wire.Message
 		if ok {
 			// Deep copy under the read barrier: Step takes mu for writing,
-			// so the copied tensors are a consistent step boundary.
-			out = encodeExpertCopy(ex, spec)
+			// so the copied tensors (weights AND optimizer moments) are a
+			// consistent step boundary.
+			out = encodeExpertCopy(ex, spec, w.optStateOf(ex))
 		}
 		w.mu.RUnlock()
 		if !ok {
@@ -456,6 +475,66 @@ func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix
 			time.Duration(w.cfg.Obs.Trace.Clock()-t0))
 	}
 	return out, err
+}
+
+// optStateOf collects the AdamW slice for one hosted expert: the
+// bias-correction clock plus the (m, v) pair of every trainable
+// parameter, in nn.CollectTrainable order. It returns nil when there is
+// no AdamW state to ship (SGD, or the optimizer not built yet and no
+// stashed seed). The returned matrices alias live optimizer memory;
+// callers that cross a step boundary must copy (encodeExpertCopy does).
+// Called with w.mu held (read or write).
+func (w *Worker) optStateOf(ex *moe.Expert) *expertOptState {
+	adam, ok := w.opt.(*nn.AdamW)
+	if !ok {
+		// Optimizer not built yet: an expert restored-then-snapshotted
+		// before the first Step still carries the moments it arrived with.
+		return w.momentSeeds[ex.ID]
+	}
+	st := &expertOptState{Step: adam.StepCount()}
+	for _, p := range nn.CollectTrainable(ex.Params()) {
+		m, v := adam.Moments(p)
+		if m == nil {
+			// Not bound (a seed raced the rebind); ship without state
+			// rather than a partial slice.
+			return w.momentSeeds[ex.ID]
+		}
+		st.M = append(st.M, matrixOf(m))
+		st.V = append(st.V, matrixOf(v))
+	}
+	return st
+}
+
+// applyMomentSeeds folds stashed optimizer slices into the live AdamW:
+// each seeded expert's trainable parameters get their shipped (m, v)
+// estimates, and the bias-correction clock is raised to the highest
+// shipped value (never lowered — surviving experts on this worker are
+// already at the right step). No-op until the optimizer is built; seeds
+// then apply at the lazy build. Called with w.mu held for writing.
+func (w *Worker) applyMomentSeeds() {
+	adam, ok := w.opt.(*nn.AdamW)
+	if !ok {
+		return
+	}
+	for id, st := range w.momentSeeds {
+		ex, hosted := w.experts[id]
+		if !hosted {
+			delete(w.momentSeeds, id)
+			continue
+		}
+		trainable := nn.CollectTrainable(ex.Params())
+		if len(trainable) != len(st.M) {
+			delete(w.momentSeeds, id)
+			continue
+		}
+		for i, p := range trainable {
+			adam.SetMoments(p, st.M[i].Data, st.V[i].Data)
+		}
+		if st.Step > adam.StepCount() {
+			adam.SetStepCount(st.Step)
+		}
+		delete(w.momentSeeds, id)
+	}
 }
 
 // buildOptimizer constructs the configured optimizer over all trainable

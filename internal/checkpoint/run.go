@@ -1,0 +1,716 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file holds the run-level checkpoint: everything a velamaster
+// process needs to reconstruct an interrupted fine-tuning run
+// bit-identically — not just the experts (ExpertSnapshot covers those)
+// but the backbone LoRA weights and their AdamW moments, the loss
+// trajectory, the step and step-ordinal counters, the data-batcher
+// cursor stack, the RNG seeds, the live placement assignment, the drift
+// monitor's baseline/estimate/predicted-comm, and the replace
+// controller's hysteresis and cooldown counters.
+//
+// Durability discipline (the part the expert snapshot never needed):
+//
+//   - Each checkpoint is one self-validating generation file
+//     gen-%08d.vrun: magic, generation number, body length, body, and a
+//     CRC32C (Castagnoli) trailer over everything before it. A torn or
+//     bit-rotted file fails the trailer check and is skipped.
+//   - Writes are tmp → write → fsync → rename → fsync(dir), so a crash
+//     at any point leaves either the previous generation set or the
+//     previous set plus one complete new file — never a half-written
+//     file under a live name.
+//   - A MANIFEST names the newest generation as a fast path; it is
+//     advisory. LoadLatest falls back to scanning generation files in
+//     descending order when the manifest is missing, truncated, or
+//     names a file that fails validation — the fallback-to-previous-
+//     generation guarantee does not depend on the manifest surviving.
+//   - Retention keeps the newest Keep generations and prunes the rest
+//     after each successful write.
+//
+// Format (little-endian):
+//
+//	magic "VELARUN1"
+//	uint64 generation
+//	uint64 bodyLen, then body (see encodeRunBody), then
+//	uint32 CRC32C over magic ‖ generation ‖ bodyLen ‖ body
+
+const (
+	runMagic = "VELARUN1"
+	// DefaultRunKeep is the retention depth when RunStore.Keep is unset.
+	DefaultRunKeep = 3
+	// RunManifestName is the advisory newest-generation pointer file.
+	RunManifestName  = "MANIFEST"
+	runManifestMagic = "VELARUN1-MANIFEST"
+	runGenPrefix     = "gen-"
+	runGenSuffix     = ".vrun"
+)
+
+// castagnoli is the CRC32C table (iSCSI polynomial, hardware-accelerated
+// on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// runMaxCount bounds every element count a run-state decoder will accept,
+// so a corrupted length field cannot trigger a huge allocation.
+const runMaxCount = 1 << 24
+
+// NamedTensor is one named dense matrix of the run state (a trainable
+// backbone parameter, matched by name on restore).
+type NamedTensor struct {
+	Name string
+	StateTensor
+}
+
+// RunState is the full resumable state of a fine-tuning run at one step
+// boundary.
+type RunState struct {
+	// Generation is assigned by RunStore.Save; zero until then.
+	Generation uint64
+	// Step is the number of completed fine-tuning steps (== len(Losses)):
+	// the resumed run drives steps [Step, total).
+	Step int
+	// StepOrd is the executor's step-broadcast ordinal, kept separate
+	// from Step so retry dedup stays monotonic across a master restart.
+	StepOrd int
+	// Losses is the per-step loss trajectory so far; a resumed run
+	// appends to it and the final series is bit-identical to an
+	// uninterrupted run's.
+	Losses []float64
+	// Backbone holds the master-side trainable parameters (the LoRA
+	// adapters; the frozen backbone is rebuilt deterministically), and
+	// OptM/OptV/OptStep their AdamW moments and bias-correction clock.
+	// OptM/OptV are aligned with Backbone; empty means no moments
+	// (an SGD or pre-first-step checkpoint).
+	Backbone   []NamedTensor
+	OptStep    int
+	OptM, OptV []StateTensor
+	// Experts is the moments-inclusive expert snapshot (VELAEXS2).
+	Experts *ExpertSnapshot
+	// Cursor is the data source's replayable position stack
+	// (data.Batcher / data.SwitchBatcher Cursor()).
+	Cursor []int64
+	// Seeds records the run's RNG seeds for resume-time verification
+	// (the deterministic prelude re-derives all RNG state from them).
+	Seeds []int64
+	// Assignment is the live expert→worker placement, Worker[layer][expert].
+	Assignment [][]int
+	// Baseline / Phat / PredictedComm are the drift monitor's anchor,
+	// EWMA estimate, and predicted-comm gauge.
+	Baseline      [][]float64
+	Phat          [][]float64
+	PredictedComm float64
+	// HasReplace marks whether a replace controller was live;
+	// ReplaceOver/ReplaceCooldown are its hysteresis and cooldown
+	// counters.
+	HasReplace                   bool
+	ReplaceOver, ReplaceCooldown int
+}
+
+// IOFaults injects checkpoint-I/O failures for fault-coverage tests, in
+// the spirit of transport.Faulty: each knob simulates one crash window
+// of the write discipline. A nil *IOFaults (the production value)
+// injects nothing.
+type IOFaults struct {
+	// TornWriteGen truncates that generation's file mid-body (no CRC
+	// trailer survives) while still publishing it under its final name —
+	// the "crash between rename and the next write, disk lied about the
+	// flush" case. LoadLatest must fall back to the previous generation.
+	TornWriteGen uint64
+	// SkipRenameGen leaves that generation's bytes at the temporary name
+	// and never renames — the "crash before rename" case. The manifest
+	// still advances, so it names a file that does not exist.
+	SkipRenameGen uint64
+	// TruncateManifest cuts the manifest off mid-line on the next Save —
+	// the "crash during manifest rewrite" case (the manifest is renamed
+	// atomically in reality, so this simulates a corrupted pointer, the
+	// worst case the advisory fast path must absorb).
+	TruncateManifest bool
+}
+
+// RunStore reads and writes run-level checkpoint generations in one
+// directory. The zero value is unusable; set Dir. Not safe for
+// concurrent use — the AsyncWriter serializes all access.
+type RunStore struct {
+	// Dir is the checkpoint directory (created on first Save).
+	Dir string
+	// Keep is the retention depth; <= 0 selects DefaultRunKeep.
+	Keep int
+	// Faults, when non-nil, injects write-path failures (tests only).
+	Faults *IOFaults
+
+	lastGen uint64
+	scanned bool
+}
+
+func (s *RunStore) keep() int {
+	if s.Keep > 0 {
+		return s.Keep
+	}
+	return DefaultRunKeep
+}
+
+func runGenName(gen uint64) string {
+	return fmt.Sprintf("%s%08d%s", runGenPrefix, gen, runGenSuffix)
+}
+
+// RunGenFile returns the file name generation gen occupies inside a run
+// checkpoint directory — for tooling and chaos harnesses that inspect or
+// deliberately damage specific generations.
+func RunGenFile(gen uint64) string { return runGenName(gen) }
+
+// parseGenName extracts the generation number from a gen-%08d.vrun name.
+func parseGenName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, runGenPrefix) || !strings.HasSuffix(name, runGenSuffix) {
+		return 0, false
+	}
+	mid := name[len(runGenPrefix) : len(name)-len(runGenSuffix)]
+	var gen uint64
+	for _, c := range mid {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		gen = gen*10 + uint64(c-'0')
+		if gen > 1<<40 {
+			return 0, false
+		}
+	}
+	return gen, len(mid) > 0
+}
+
+// Generations lists the generation numbers present on disk, ascending.
+// Torn files still count — validity is decided at load time.
+func (s *RunStore) Generations() ([]uint64, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if gen, ok := parseGenName(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Save assigns the next generation number, encodes the state, and writes
+// it with the full durability discipline (tmp → fsync → rename →
+// fsync(dir), manifest update, retention pruning). It returns the
+// generation written and its encoded size.
+func (s *RunStore) Save(rs *RunState) (gen uint64, size int64, err error) {
+	if s.Dir == "" {
+		return 0, 0, fmt.Errorf("checkpoint: RunStore.Dir unset")
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return 0, 0, err
+	}
+	if !s.scanned {
+		gens, err := s.Generations()
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(gens) > 0 {
+			s.lastGen = gens[len(gens)-1]
+		}
+		s.scanned = true
+	}
+	gen = s.lastGen + 1
+	rs.Generation = gen
+
+	var buf bytes.Buffer
+	buf.WriteString(runMagic)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], gen)
+	body := encodeRunBody(rs)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	full := buf.Bytes()
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(full, castagnoli))
+	full = append(full, crc[:]...)
+
+	if s.Faults != nil && s.Faults.TornWriteGen == gen {
+		// Torn write: publish a file that ends mid-body.
+		full = full[:len(full)*2/3]
+	}
+
+	name := runGenName(gen)
+	path := filepath.Join(s.Dir, name)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, full); err != nil {
+		return 0, 0, err
+	}
+	if s.Faults != nil && s.Faults.SkipRenameGen == gen {
+		// Partial rename: the bytes exist only under the tmp name.
+	} else {
+		if err := os.Rename(tmp, path); err != nil {
+			//lint:ignore errdispatch the rename already failed; the cleanup error adds nothing
+			_ = os.Remove(tmp)
+			return 0, 0, err
+		}
+		if err := syncDir(s.Dir); err != nil {
+			return 0, 0, err
+		}
+	}
+	s.lastGen = gen
+
+	if err := s.writeManifest(gen, name); err != nil {
+		// The generation file is durable; a manifest failure only costs
+		// the fast path. Report it anyway — callers count failures.
+		return gen, int64(len(full)), err
+	}
+	s.prune(gen)
+	return gen, int64(len(full)), nil
+}
+
+// writeManifest atomically replaces the advisory newest-generation
+// pointer.
+func (s *RunStore) writeManifest(gen uint64, name string) error {
+	content := fmt.Sprintf("%s\ngeneration %d\nfile %s\n", runManifestMagic, gen, name)
+	if s.Faults != nil && s.Faults.TruncateManifest {
+		content = content[:len(content)*1/2]
+	}
+	path := filepath.Join(s.Dir, RunManifestName)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, []byte(content)); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		//lint:ignore errdispatch the rename already failed; the cleanup error adds nothing
+		_ = os.Remove(tmp)
+		return err
+	}
+	return syncDir(s.Dir)
+}
+
+// prune removes generations older than the retention window (and any
+// stale tmp files from aborted writes of already-superseded
+// generations).
+func (s *RunStore) prune(newest uint64) {
+	keep := uint64(s.keep())
+	if newest <= keep {
+		return
+	}
+	cutoff := newest - keep
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".tmp")
+		if gen, ok := parseGenName(name); ok && gen <= cutoff {
+			//lint:ignore errdispatch retention is best-effort; a missed prune costs disk, not correctness
+			_ = os.Remove(filepath.Join(s.Dir, e.Name()))
+		}
+	}
+}
+
+// LoadLatest returns the newest valid generation: the manifest's
+// candidate when it validates, otherwise the newest generation file
+// that decodes and passes its CRC trailer — so a torn or corrupt newest
+// generation falls back to the previous one.
+func (s *RunStore) LoadLatest() (*RunState, error) {
+	if rs, err := s.loadManifestCandidate(); err == nil {
+		return rs, nil
+	}
+	gens, err := s.Generations()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		rs, err := s.LoadGeneration(gens[i])
+		if err == nil {
+			return rs, nil
+		}
+	}
+	return nil, fmt.Errorf("checkpoint: no valid run checkpoint in %s", s.Dir)
+}
+
+// loadManifestCandidate follows the advisory manifest pointer.
+func (s *RunStore) loadManifestCandidate() (*RunState, error) {
+	raw, err := os.ReadFile(filepath.Join(s.Dir, RunManifestName))
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(raw), "\n")
+	if len(lines) < 3 || lines[0] != runManifestMagic {
+		return nil, fmt.Errorf("checkpoint: bad manifest")
+	}
+	var gen uint64
+	if _, err := fmt.Sscanf(lines[1], "generation %d", &gen); err != nil {
+		return nil, fmt.Errorf("checkpoint: bad manifest generation: %w", err)
+	}
+	var name string
+	if _, err := fmt.Sscanf(lines[2], "file %s", &name); err != nil {
+		return nil, fmt.Errorf("checkpoint: bad manifest file line: %w", err)
+	}
+	if want, ok := parseGenName(name); !ok || want != gen {
+		return nil, fmt.Errorf("checkpoint: manifest names %q for generation %d", name, gen)
+	}
+	return s.LoadGeneration(gen)
+}
+
+// LoadGeneration reads and validates one generation file.
+func (s *RunStore) LoadGeneration(gen uint64) (*RunState, error) {
+	raw, err := os.ReadFile(filepath.Join(s.Dir, runGenName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	rs, err := decodeRun(raw)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: generation %d: %w", gen, err)
+	}
+	if rs.Generation != gen {
+		return nil, fmt.Errorf("checkpoint: generation file %d claims generation %d", gen, rs.Generation)
+	}
+	return rs, nil
+}
+
+// decodeRun validates framing and CRC, then decodes the body.
+func decodeRun(raw []byte) (*RunState, error) {
+	const hdrLen = len(runMagic) + 16
+	if len(raw) < hdrLen+4 {
+		return nil, fmt.Errorf("truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(runMagic)]) != runMagic {
+		return nil, fmt.Errorf("bad magic %q", raw[:len(runMagic)])
+	}
+	gen := binary.LittleEndian.Uint64(raw[len(runMagic):])
+	bodyLen := binary.LittleEndian.Uint64(raw[len(runMagic)+8:])
+	if bodyLen > uint64(len(raw)) || len(raw) != hdrLen+int(bodyLen)+4 {
+		return nil, fmt.Errorf("length mismatch (header says %d body bytes, file has %d)", bodyLen, len(raw)-hdrLen-4)
+	}
+	payload := raw[:hdrLen+int(bodyLen)]
+	want := binary.LittleEndian.Uint32(raw[hdrLen+int(bodyLen):])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("CRC32C mismatch (got %08x, want %08x)", got, want)
+	}
+	rs, err := decodeRunBody(raw[hdrLen : hdrLen+int(bodyLen)])
+	if err != nil {
+		return nil, err
+	}
+	rs.Generation = gen
+	return rs, nil
+}
+
+// writeFileSync writes data and fsyncs before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		//lint:ignore errdispatch the write already failed; the cleanup error adds nothing
+		_ = os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- body encoding ---
+
+type runEncoder struct{ buf bytes.Buffer }
+
+func (e *runEncoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf.Write(b[:])
+}
+func (e *runEncoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *runEncoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *runEncoder) str(s string) {
+	e.i64(int64(len(s)))
+	e.buf.WriteString(s)
+}
+func (e *runEncoder) f64s(vs []float64) {
+	e.i64(int64(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+func (e *runEncoder) i64s(vs []int64) {
+	e.i64(int64(len(vs)))
+	for _, v := range vs {
+		e.i64(v)
+	}
+}
+func (e *runEncoder) tensor(t StateTensor) {
+	e.i64(int64(t.Rows))
+	e.i64(int64(t.Cols))
+	for _, v := range t.Data {
+		e.f64(v)
+	}
+}
+func (e *runEncoder) tensors(ts []StateTensor) {
+	e.i64(int64(len(ts)))
+	for _, t := range ts {
+		e.tensor(t)
+	}
+}
+func (e *runEncoder) matrix(m [][]float64) {
+	e.i64(int64(len(m)))
+	for _, row := range m {
+		e.f64s(row)
+	}
+}
+func (e *runEncoder) grid(g [][]int) {
+	e.i64(int64(len(g)))
+	for _, row := range g {
+		e.i64(int64(len(row)))
+		for _, v := range row {
+			e.i64(int64(v))
+		}
+	}
+}
+func (e *runEncoder) flag(b bool) {
+	if b {
+		e.buf.WriteByte(1)
+	} else {
+		e.buf.WriteByte(0)
+	}
+}
+
+func encodeRunBody(rs *RunState) []byte {
+	e := &runEncoder{}
+	e.i64(int64(rs.Step))
+	e.i64(int64(rs.StepOrd))
+	e.f64s(rs.Losses)
+	e.i64(int64(len(rs.Backbone)))
+	for _, nt := range rs.Backbone {
+		e.str(nt.Name)
+		e.tensor(nt.StateTensor)
+	}
+	e.i64(int64(rs.OptStep))
+	e.tensors(rs.OptM)
+	e.tensors(rs.OptV)
+	if rs.Experts != nil {
+		var sb bytes.Buffer
+		// An in-memory snapshot encode cannot fail except through a
+		// malformed tensor, which Save would also reject; surface it as
+		// an empty experts section and let the restore path report it.
+		if err := SaveExpertSnapshot(&sb, rs.Experts); err == nil {
+			e.i64(int64(sb.Len()))
+			e.buf.Write(sb.Bytes())
+		} else {
+			e.i64(0)
+		}
+	} else {
+		e.i64(0)
+	}
+	e.i64s(rs.Cursor)
+	e.i64s(rs.Seeds)
+	e.grid(rs.Assignment)
+	e.matrix(rs.Baseline)
+	e.matrix(rs.Phat)
+	e.f64(rs.PredictedComm)
+	e.flag(rs.HasReplace)
+	e.i64(int64(rs.ReplaceOver))
+	e.i64(int64(rs.ReplaceCooldown))
+	return e.buf.Bytes()
+}
+
+type runDecoder struct {
+	raw []byte
+	off int
+	err error
+}
+
+func (d *runDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+func (d *runDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.raw) {
+		d.fail("truncated body at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.raw[d.off:])
+	d.off += 8
+	return v
+}
+func (d *runDecoder) i64() int64   { return int64(d.u64()) }
+func (d *runDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *runDecoder) count(what string) int {
+	n := d.i64()
+	if n < 0 || n > runMaxCount {
+		d.fail("implausible %s count %d", what, n)
+		return 0
+	}
+	return int(n)
+}
+func (d *runDecoder) str() string {
+	n := d.count("string")
+	if d.err != nil || d.off+n > len(d.raw) {
+		d.fail("truncated string at offset %d", d.off)
+		return ""
+	}
+	s := string(d.raw[d.off : d.off+n])
+	d.off += n
+	return s
+}
+func (d *runDecoder) f64s() []float64 {
+	n := d.count("float slice")
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+func (d *runDecoder) i64s() []int64 {
+	n := d.count("int slice")
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.i64()
+	}
+	return out
+}
+func (d *runDecoder) tensor() StateTensor {
+	rows, cols := d.count("tensor rows"), d.count("tensor cols")
+	if d.err != nil || rows*cols > runMaxCount {
+		d.fail("implausible tensor shape %dx%d", rows, cols)
+		return StateTensor{}
+	}
+	t := StateTensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	for i := range t.Data {
+		t.Data[i] = d.f64()
+	}
+	return t
+}
+func (d *runDecoder) tensors() []StateTensor {
+	n := d.count("tensor list")
+	if d.err != nil {
+		return nil
+	}
+	out := make([]StateTensor, n)
+	for i := range out {
+		out[i] = d.tensor()
+	}
+	return out
+}
+func (d *runDecoder) matrix() [][]float64 {
+	n := d.count("matrix rows")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = d.f64s()
+	}
+	return out
+}
+func (d *runDecoder) grid() [][]int {
+	n := d.count("grid rows")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([][]int, n)
+	for i := range out {
+		m := d.count("grid cols")
+		row := make([]int, m)
+		for j := range row {
+			row[j] = int(d.i64())
+		}
+		out[i] = row
+	}
+	return out
+}
+func (d *runDecoder) flag() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.raw) {
+		d.fail("truncated flag at offset %d", d.off)
+		return false
+	}
+	v := d.raw[d.off]
+	d.off++
+	return v != 0
+}
+
+func decodeRunBody(raw []byte) (*RunState, error) {
+	d := &runDecoder{raw: raw}
+	rs := &RunState{}
+	rs.Step = int(d.i64())
+	rs.StepOrd = int(d.i64())
+	rs.Losses = d.f64s()
+	nb := d.count("backbone tensors")
+	for i := 0; i < nb && d.err == nil; i++ {
+		name := d.str()
+		rs.Backbone = append(rs.Backbone, NamedTensor{Name: name, StateTensor: d.tensor()})
+	}
+	rs.OptStep = int(d.i64())
+	rs.OptM = d.tensors()
+	rs.OptV = d.tensors()
+	if n := d.count("experts bytes"); d.err == nil && n > 0 {
+		if d.off+n > len(d.raw) {
+			return nil, fmt.Errorf("truncated experts section at offset %d", d.off)
+		}
+		snap, err := LoadExpertSnapshot(bytes.NewReader(d.raw[d.off : d.off+n]))
+		if err != nil {
+			return nil, fmt.Errorf("experts section: %w", err)
+		}
+		rs.Experts = snap
+		d.off += n
+	}
+	rs.Cursor = d.i64s()
+	rs.Seeds = d.i64s()
+	rs.Assignment = d.grid()
+	rs.Baseline = d.matrix()
+	rs.Phat = d.matrix()
+	rs.PredictedComm = d.f64()
+	rs.HasReplace = d.flag()
+	rs.ReplaceOver = int(d.i64())
+	rs.ReplaceCooldown = int(d.i64())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.raw) {
+		return nil, fmt.Errorf("%d trailing bytes after run body", len(d.raw)-d.off)
+	}
+	if len(rs.OptM) != len(rs.OptV) || (len(rs.OptM) != 0 && len(rs.OptM) != len(rs.Backbone)) {
+		return nil, fmt.Errorf("optimizer moments misaligned (%d m, %d v, %d params)",
+			len(rs.OptM), len(rs.OptV), len(rs.Backbone))
+	}
+	return rs, nil
+}

@@ -17,6 +17,7 @@
 package data
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 )
@@ -158,6 +159,8 @@ func Pretrain(size int) *Corpus {
 type Batcher struct {
 	corpus *Corpus
 	rng    *rand.Rand
+	seed   int64
+	drawn  int64 // batches served since construction or last SeekTo
 	Batch  int
 	SeqLen int
 }
@@ -168,7 +171,7 @@ func NewBatcher(c *Corpus, batch, seqLen int, seed int64) *Batcher {
 		//lint:ignore panicpolicy constructor precondition on caller-chosen geometry; every call site passes a compile-time-known corpus/seqLen pair
 		panic("data: corpus too small for sequence length")
 	}
-	return &Batcher{corpus: c, rng: rand.New(rand.NewSource(seed)), Batch: batch, SeqLen: seqLen}
+	return &Batcher{corpus: c, rng: rand.New(rand.NewSource(seed)), seed: seed, Batch: batch, SeqLen: seqLen}
 }
 
 // Shape returns the batch geometry (implements trainer.BatchSource).
@@ -184,7 +187,40 @@ func (b *Batcher) Next() (ids, targets []int) {
 		ids = append(ids, b.corpus.Tokens[start:start+b.SeqLen]...)
 		targets = append(targets, b.corpus.Tokens[start+1:start+b.SeqLen+1]...)
 	}
+	b.drawn++
 	return ids, targets
+}
+
+// Cursor returns the batcher's replayable position: the number of
+// batches drawn from the sampling stream. Run-level checkpoints persist
+// it so a resumed run's batch sequence is bit-identical to an
+// uninterrupted one.
+func (b *Batcher) Cursor() []int64 { return []int64{b.drawn} }
+
+// SeekTo rewinds the sampling stream to a cursor from Cursor by
+// rebuilding the RNG from the seed and replaying the draws — cheap
+// (one Intn per sampled window, no token copies) and exact.
+func (b *Batcher) SeekTo(cur []int64) error {
+	if len(cur) != 1 || cur[0] < 0 {
+		return fmt.Errorf("data: bad batcher cursor %v", cur)
+	}
+	b.rng = rand.New(rand.NewSource(b.seed))
+	span := len(b.corpus.Tokens) - b.SeqLen - 1
+	for i := int64(0); i < cur[0]; i++ {
+		for j := 0; j < b.Batch; j++ {
+			b.rng.Intn(span)
+		}
+	}
+	b.drawn = cur[0]
+	return nil
+}
+
+// CursorSource is a Source whose position can be checkpointed and
+// restored. Batcher and SwitchBatcher implement it.
+type CursorSource interface {
+	Source
+	Cursor() []int64
+	SeekTo([]int64) error
 }
 
 // Source is the batch interface SwitchBatcher composes over; it matches
@@ -232,3 +268,47 @@ func (s *SwitchBatcher) Next() (ids, targets []int) {
 
 // Switched reports whether the splice has happened.
 func (s *SwitchBatcher) Switched() bool { return s.served > s.switchAt }
+
+// Cursor returns the splice position followed by both sources' cursors
+// ([served, len(beforeCursor), beforeCursor..., afterCursor...]), or nil
+// when either source cannot report one.
+func (s *SwitchBatcher) Cursor() []int64 {
+	bc, ok := s.before.(CursorSource)
+	if !ok {
+		return nil
+	}
+	ac, ok := s.after.(CursorSource)
+	if !ok {
+		return nil
+	}
+	b, a := bc.Cursor(), ac.Cursor()
+	out := make([]int64, 0, 2+len(b)+len(a))
+	out = append(out, int64(s.served), int64(len(b)))
+	out = append(out, b...)
+	return append(out, a...)
+}
+
+// SeekTo restores a cursor from Cursor: the splice position and both
+// underlying sources' positions.
+func (s *SwitchBatcher) SeekTo(cur []int64) error {
+	if len(cur) < 2 || cur[0] < 0 || cur[1] < 0 || int64(len(cur)-2) < cur[1] {
+		return fmt.Errorf("data: bad switch-batcher cursor %v", cur)
+	}
+	bc, ok := s.before.(CursorSource)
+	if !ok {
+		return fmt.Errorf("data: switch-batcher before-source is not seekable")
+	}
+	ac, ok := s.after.(CursorSource)
+	if !ok {
+		return fmt.Errorf("data: switch-batcher after-source is not seekable")
+	}
+	nb := int(cur[1])
+	if err := bc.SeekTo(cur[2 : 2+nb]); err != nil {
+		return err
+	}
+	if err := ac.SeekTo(cur[2+nb:]); err != nil {
+		return err
+	}
+	s.served = int(cur[0])
+	return nil
+}

@@ -175,3 +175,66 @@ func TestSwitchBatcherRejectsShapeMismatch(t *testing.T) {
 	}()
 	NewSwitchBatcher(stubSource{batch: 2, seqLen: 4}, stubSource{batch: 2, seqLen: 8}, 1)
 }
+
+// TestBatcherCursorSeek: a fresh batcher sought to a captured cursor
+// serves exactly the batches the original would have served next.
+func TestBatcherCursorSeek(t *testing.T) {
+	c := WikiText(4000)
+	b1 := NewBatcher(c, 2, 8, 7)
+	for i := 0; i < 5; i++ {
+		b1.Next()
+	}
+	cur := b1.Cursor()
+	if len(cur) != 1 || cur[0] != 5 {
+		t.Fatalf("cursor = %v, want [5]", cur)
+	}
+	b2 := NewBatcher(c, 2, 8, 7)
+	if err := b2.SeekTo(cur); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		a1, t1 := b1.Next()
+		a2, t2 := b2.Next()
+		for i := range a1 {
+			if a1[i] != a2[i] || t1[i] != t2[i] {
+				t.Fatalf("step %d: sought batcher diverged at %d", step, i)
+			}
+		}
+	}
+	if err := b2.SeekTo([]int64{1, 2}); err == nil {
+		t.Fatal("malformed cursor must fail")
+	}
+}
+
+// TestSwitchBatcherCursorSeek: the composite cursor restores the splice
+// position and both underlying streams, across the splice point.
+func TestSwitchBatcherCursorSeek(t *testing.T) {
+	before, after := WikiText(4000), Alpaca(4000)
+	mk := func() *SwitchBatcher {
+		return NewSwitchBatcher(NewBatcher(before, 2, 8, 7), NewBatcher(after, 2, 8, 9), 4)
+	}
+	s1 := mk()
+	for i := 0; i < 6; i++ { // two batches past the splice
+		s1.Next()
+	}
+	cur := s1.Cursor()
+	s2 := mk()
+	if err := s2.SeekTo(cur); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Switched() {
+		t.Fatal("sought batcher must know the splice already happened")
+	}
+	for step := 0; step < 3; step++ {
+		a1, _ := s1.Next()
+		a2, _ := s2.Next()
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("step %d: sought switch-batcher diverged", step)
+			}
+		}
+	}
+	if err := s2.SeekTo([]int64{3}); err == nil {
+		t.Fatal("malformed cursor must fail")
+	}
+}

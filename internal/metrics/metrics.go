@@ -127,6 +127,9 @@ type RecoveryCounts struct {
 	ExpertsRecovered int64
 	// Snapshots counts completed expert-state checkpoint pulls.
 	Snapshots int64
+	// WorkerRejoins counts dead workers re-admitted over a fresh
+	// connection after a successful handshake.
+	WorkerRejoins int64
 }
 
 // Recovery is the thread-safe accumulator behind RecoveryCounts. All
@@ -179,6 +182,9 @@ func (r *Recovery) AddFailover(expertsRecovered int) {
 		c.ExpertsRecovered += int64(expertsRecovered)
 	})
 }
+
+// AddRejoin records one dead worker re-admitted to the pool.
+func (r *Recovery) AddRejoin() { r.add(func(c *RecoveryCounts) { c.WorkerRejoins++ }) }
 
 // AddSnapshot records one completed expert-state checkpoint pull.
 func (r *Recovery) AddSnapshot() { r.add(func(c *RecoveryCounts) { c.Snapshots++ }) }

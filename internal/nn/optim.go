@@ -109,6 +109,46 @@ func (o *AdamW) Rebind(params []*Param) {
 	}
 }
 
+// StepCount returns the number of optimization steps applied so far —
+// the bias-correction clock t.
+func (o *AdamW) StepCount() int { return o.t }
+
+// SetStepCount overrides the bias-correction clock. Checkpoint restore
+// uses it so a resumed run continues the exact bias-correction schedule
+// of the interrupted one.
+func (o *AdamW) SetStepCount(t int) { o.t = t }
+
+// Moments returns the first/second moment estimates tracked for p, or
+// (nil, nil) when p is not in the optimizer's trainable set. The returned
+// tensors are the live estimates, not copies; callers that persist them
+// must copy before the next Step.
+func (o *AdamW) Moments(p *Param) (m, v *tensor.Tensor) {
+	for i, q := range o.params {
+		if q == p {
+			return o.m[i], o.v[i]
+		}
+	}
+	return nil, nil
+}
+
+// SetMoments copies m and v into the estimates tracked for p. It returns
+// false — leaving the estimates untouched — when p is not in the
+// trainable set or either slice length mismatches the parameter.
+func (o *AdamW) SetMoments(p *Param, m, v []float64) bool {
+	for i, q := range o.params {
+		if q != p {
+			continue
+		}
+		if len(m) != o.m[i].Len() || len(v) != o.v[i].Len() {
+			return false
+		}
+		copy(o.m[i].Data, m)
+		copy(o.v[i].Data, v)
+		return true
+	}
+	return false
+}
+
 // Step implements Optimizer.
 func (o *AdamW) Step() {
 	o.t++

@@ -107,3 +107,50 @@ func TestSGDRebind(t *testing.T) {
 		t.Fatal("rebound parameter not updated")
 	}
 }
+
+// TestAdamWMomentsExportImport: Moments/SetMoments/StepCount round-trip
+// the optimizer state — an optimizer rebuilt from exported state steps
+// bit-identically to the original. This is the primitive run-level
+// checkpoints (and VELAEXS2 expert snapshots) are built on.
+func TestAdamWMomentsExportImport(t *testing.T) {
+	p1 := mkParam(t, "p", 5, 6)
+	p2 := mkParam(t, "p", 5, 6) // identical twin
+	opt1 := NewAdamW([]*Param{p1}, PaperAdamWConfig())
+	opt2 := NewAdamW([]*Param{p2}, PaperAdamWConfig())
+
+	opt1.Step()
+	if opt1.StepCount() != 1 {
+		t.Fatalf("StepCount = %d, want 1", opt1.StepCount())
+	}
+	m, v := opt1.Moments(p1)
+	if m == nil || v == nil {
+		t.Fatal("Moments must return the tracked tensors")
+	}
+	if unknown := mkParam(t, "x", 9, 6); func() bool { um, _ := opt1.Moments(unknown); return um != nil }() {
+		t.Fatal("Moments of an untracked parameter must be nil")
+	}
+
+	// Transplant value + moments + clock onto the twin.
+	copy(p2.Value.Data, p1.Value.Data)
+	if !opt2.SetMoments(p2, m.Data, v.Data) {
+		t.Fatal("SetMoments must accept the tracked parameter")
+	}
+	opt2.SetStepCount(opt1.StepCount())
+	if opt2.SetMoments(p1, m.Data, v.Data) {
+		t.Fatal("SetMoments must reject an untracked parameter")
+	}
+	if opt2.SetMoments(p2, m.Data[:2], v.Data) {
+		t.Fatal("SetMoments must reject a length mismatch")
+	}
+
+	// Identical gradients → bit-identical next step.
+	for i := range p1.Grad.Data {
+		p1.Grad.Data[i] = 0.125
+		p2.Grad.Data[i] = 0.125
+	}
+	opt1.Step()
+	opt2.Step()
+	if !testutil.BitEqualSlices(p1.Value.Data, p2.Value.Data) {
+		t.Fatal("transplanted optimizer diverged from the original")
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// CkptStats is the run-level checkpoint pipeline's instrumentation:
+// counters over the async write loop (writes, skips, failures) and
+// gauges of the latest generation's size, latency, and the one-time
+// resume cost. All methods are atomic, allocation-free, and
+// nil-receiver-safe, matching the rest of the obs layer; the async
+// writer goroutine records while scrapes read concurrently.
+type CkptStats struct {
+	writes   atomic.Uint64 // generations durably written
+	skips    atomic.Uint64 // step boundaries skipped because a write was in flight
+	failures atomic.Uint64 // write attempts that errored
+
+	generation   atomic.Uint64 // newest durably written generation
+	lastBytes    atomic.Int64  // size of the newest generation on disk
+	lastWriteSec atomic.Uint64 // float64 bits: wall seconds of the newest write
+	totalSec     atomic.Uint64 // float64 bits: cumulative write seconds
+	resumeSec    atomic.Uint64 // float64 bits: wall seconds of the last resume (0 = fresh run)
+	resumeGen    atomic.Uint64 // generation the last resume loaded
+}
+
+// NewCkptStats returns a fresh stats block.
+func NewCkptStats() *CkptStats { return &CkptStats{} }
+
+// AddWrite records one durably written generation: its number, encoded
+// size, and wall-clock write latency.
+func (c *CkptStats) AddWrite(generation uint64, bytes int64, seconds float64) {
+	if c == nil {
+		return
+	}
+	c.writes.Add(1)
+	c.generation.Store(generation)
+	c.lastBytes.Store(bytes)
+	c.lastWriteSec.Store(math.Float64bits(seconds))
+	for {
+		old := c.totalSec.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if c.totalSec.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// AddSkip records a step boundary whose checkpoint was dropped because
+// the previous write was still in flight (the async writer never queues
+// more than one state).
+func (c *CkptStats) AddSkip() {
+	if c == nil {
+		return
+	}
+	c.skips.Add(1)
+}
+
+// AddFailure records one failed write attempt.
+func (c *CkptStats) AddFailure() {
+	if c == nil {
+		return
+	}
+	c.failures.Add(1)
+}
+
+// SetResume records the one-time cost of reconstructing a run from a
+// checkpoint: the generation loaded and the wall seconds the restore
+// took.
+func (c *CkptStats) SetResume(generation uint64, seconds float64) {
+	if c == nil {
+		return
+	}
+	c.resumeGen.Store(generation)
+	c.resumeSec.Store(math.Float64bits(seconds))
+}
+
+// CkptSnapshot is a consistent-enough read of the stats for scrapes and
+// exit reports.
+type CkptSnapshot struct {
+	Writes     uint64
+	Skips      uint64
+	Failures   uint64
+	Generation uint64
+	LastBytes  int64
+	LastWrite  float64 // seconds
+	TotalWrite float64 // seconds
+	ResumeSec  float64
+	ResumeGen  uint64
+}
+
+// Snapshot reads every counter and gauge. A nil receiver yields zeros.
+func (c *CkptStats) Snapshot() CkptSnapshot {
+	if c == nil {
+		return CkptSnapshot{}
+	}
+	return CkptSnapshot{
+		Writes:     c.writes.Load(),
+		Skips:      c.skips.Load(),
+		Failures:   c.failures.Load(),
+		Generation: c.generation.Load(),
+		LastBytes:  c.lastBytes.Load(),
+		LastWrite:  math.Float64frombits(c.lastWriteSec.Load()),
+		TotalWrite: math.Float64frombits(c.totalSec.Load()),
+		ResumeSec:  math.Float64frombits(c.resumeSec.Load()),
+		ResumeGen:  c.resumeGen.Load(),
+	}
+}

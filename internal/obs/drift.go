@@ -171,6 +171,43 @@ func (d *DriftMonitor) MaxDrift() float64 {
 	return m
 }
 
+// Baseline returns a copy of the placement-time P installed by
+// SetBaseline, or nil before one exists. Run-level checkpoints persist
+// it so a resumed run's drift signal continues from the same anchor.
+func (d *DriftMonitor) Baseline() [][]float64 {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.baseline == nil {
+		return nil
+	}
+	out := makeMatrix(len(d.baseline), cols(d.baseline))
+	for l := range d.baseline {
+		copy(out[l], d.baseline[l])
+	}
+	return out
+}
+
+// SetEstimate overwrites the EWMA estimate P̂ without touching the
+// baseline — the restore inverse of Phat. SetBaseline resets P̂ to the
+// baseline, so a run-level resume installs the baseline first and then
+// the checkpointed estimate on top. A shape mismatch is ignored.
+func (d *DriftMonitor) SetEstimate(p [][]float64) {
+	if d == nil || len(p) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(p) != len(d.phat) || cols(p) != cols(d.phat) {
+		return
+	}
+	for l := range p {
+		copy(d.phat[l], p[l])
+	}
+}
+
 // Phat returns a copy of the current EWMA estimate P̂.
 func (d *DriftMonitor) Phat() [][]float64 {
 	if d == nil {

@@ -85,6 +85,9 @@ type Handle struct {
 	// Replace is the re-placement controller's counters (zero-valued until
 	// a controller is wired; always scrapeable).
 	Replace *ReplaceStats
+	// Ckpt is the run-level checkpoint pipeline's counters (zero-valued
+	// until a checkpointer is wired; always scrapeable).
+	Ckpt *CkptStats
 
 	// Per-worker histograms, indexed by worker ID. Hooks with an
 	// out-of-range worker index are dropped (a worker-side handle sized
@@ -134,6 +137,7 @@ func NewHandle(cfg Config) *Handle {
 		Trace:     NewTracer(cfg.TraceCapacity),
 		Drift:     NewDriftMonitor(cfg.Layers, cfg.Experts, cfg.DriftAlpha),
 		Replace:   NewReplaceStats(),
+		Ckpt:      NewCkptStats(),
 		QueueWait: NewHistogram(LatencyBounds()),
 		FrameTx:   NewHistogram(SizeBounds()),
 		FrameRx:   NewHistogram(SizeBounds()),

@@ -89,6 +89,22 @@ func WriteMetrics(w io.Writer, s Source) error {
 			pw.sample("vela_replace_decision_seconds", `kind="savings_per_step"`, r.Savings)
 			pw.sample("vela_replace_decision_seconds", `kind="move_cost"`, r.MoveCost)
 		}
+		if c := h.Ckpt.Snapshot(); c.Writes > 0 || c.Skips > 0 || c.Failures > 0 || c.ResumeSec > 0 {
+			pw.counter("vela_ckpt_writes_total", "Run-level checkpoint generations durably written.", float64(c.Writes))
+			pw.counter("vela_ckpt_skips_total", "Step boundaries skipped because a checkpoint write was in flight.", float64(c.Skips))
+			pw.counter("vela_ckpt_failures_total", "Run-level checkpoint write attempts that errored.", float64(c.Failures))
+			pw.header("vela_ckpt_generation", "gauge", "Newest durably written run-checkpoint generation.")
+			pw.sample("vela_ckpt_generation", "", float64(c.Generation))
+			pw.header("vela_ckpt_last_bytes", "gauge", "Encoded size of the newest generation.")
+			pw.sample("vela_ckpt_last_bytes", "", float64(c.LastBytes))
+			pw.header("vela_ckpt_write_seconds", "gauge", "Wall seconds of checkpoint writes: newest generation vs cumulative.")
+			pw.sample("vela_ckpt_write_seconds", `kind="last"`, c.LastWrite)
+			pw.sample("vela_ckpt_write_seconds", `kind="total"`, c.TotalWrite)
+			pw.header("vela_ckpt_resume_seconds", "gauge", "Wall seconds the last run-level resume took (0 = fresh run).")
+			pw.sample("vela_ckpt_resume_seconds", "", c.ResumeSec)
+			pw.header("vela_ckpt_resume_generation", "gauge", "Generation the last resume reconstructed from.")
+			pw.sample("vela_ckpt_resume_generation", "", float64(c.ResumeGen))
+		}
 	}
 
 	if s.Traffic != nil {
@@ -124,6 +140,7 @@ func WriteMetrics(w io.Writer, s Source) error {
 		pw.counter("vela_recovery_worker_failovers_total", "Workers declared dead and failed over.", float64(c.WorkerFailovers))
 		pw.counter("vela_recovery_experts_recovered_total", "Experts restored onto survivors from snapshots.", float64(c.ExpertsRecovered))
 		pw.counter("vela_recovery_snapshots_total", "Completed expert-state checkpoint pulls.", float64(c.Snapshots))
+		pw.counter("vela_recovery_worker_rejoins_total", "Dead workers re-admitted after a successful rejoin handshake.", float64(c.WorkerRejoins))
 	}
 
 	if s.Alive != nil {

@@ -106,8 +106,9 @@ type Controller struct {
 	stats *obs.ReplaceStats
 	mig   Migrator
 
-	over     int // consecutive over-threshold step boundaries
-	cooldown int // step boundaries left before the controller may act
+	over      int    // consecutive over-threshold step boundaries
+	cooldown  int    // step boundaries left before the controller may act
+	requested string // non-empty: an external re-solve request (worker rejoin)
 
 	// LastReason describes the most recent decision ("idle", "cooldown",
 	// "arming 2/3", "migrated 5 experts", "cost-skip", ...). Diagnostic
@@ -148,6 +149,27 @@ func New(prob *placement.Problem, h *obs.Handle, mig Migrator, cfg Config) (*Con
 // may act again.
 func (c *Controller) Cooldown() int { return c.cooldown }
 
+// State returns the hysteresis counter and remaining cooldown — the
+// controller slice of a run-level checkpoint. Call from the training
+// goroutine, like OnStep.
+func (c *Controller) State() (over, cooldown int) { return c.over, c.cooldown }
+
+// RestoreState reinstates counters captured by State, so a resumed run's
+// controller decisions replay exactly as the uninterrupted run's would.
+func (c *Controller) RestoreState(over, cooldown int) {
+	c.over, c.cooldown = over, cooldown
+	c.stats.SetCooldown(c.cooldown)
+}
+
+// RequestResolve asks the controller to run a re-solve at its next step
+// boundary regardless of hysteresis and cooldown. This is the
+// supervisor's worker-rejoin nudge: restored capacity is an event, not a
+// drift signal, so it should neither wait out K consecutive
+// over-threshold boundaries nor sit behind a cooldown from an earlier
+// decision. The migration-cost gate still applies — experts migrate back
+// to the rejoined worker only when the savings amortize the moves.
+func (c *Controller) RequestResolve(reason string) { c.requested = reason }
+
 // OnStep runs one controller decision at a step boundary. Returns an
 // error only when a migration plan failed mid-execution (the assignment
 // stays consistent; the caller decides whether to abort). Solver
@@ -155,6 +177,14 @@ func (c *Controller) Cooldown() int { return c.cooldown }
 // cooldown, and training continues on the stale placement.
 func (c *Controller) OnStep(step int) error {
 	c.stats.AddCheck()
+	if c.requested != "" {
+		reason := c.requested
+		c.requested = ""
+		c.over = 0
+		c.stats.AddTrigger()
+		c.LastReason = fmt.Sprintf("requested: %s", reason)
+		return c.resolve(step)
+	}
 	if c.cooldown > 0 {
 		c.cooldown--
 		c.stats.SetCooldown(c.cooldown)

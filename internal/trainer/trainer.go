@@ -189,6 +189,14 @@ type Finetuner struct {
 	// boundaries. Its error aborts the run.
 	OnStep func(step int) error
 
+	// StartStep is the first step Run drives — 0 for a fresh run, the
+	// checkpointed completed-step count for a resumed one. Run(steps)
+	// always means "until `steps` total steps have completed", so a run
+	// resumed from step k drives steps [k, steps) and the Losses series
+	// (preloaded by the restore) ends bit-identical to an uninterrupted
+	// run's.
+	StartStep int
+
 	// Obs, when non-nil, receives step boundaries and per-phase spans
 	// (forward, backward, optimizer; the broker records its own exchange
 	// spans); EndStep also folds the step's routing into the P-drift
@@ -279,13 +287,14 @@ func (f *Finetuner) step(ids, targets []int) (float64, error) {
 	return loss, nil
 }
 
-// Run executes the given number of steps, invoking hook (if non-nil)
-// after each. When Recover is set, a failed step is handed to it and —
-// if recovery succeeds — re-driven on the same batch, up to
-// MaxStepRetries times; the trainer thus sees a worker failover as at
-// most a retried step.
+// Run executes until `steps` total steps have completed (starting from
+// StartStep — nonzero when resuming from a run-level checkpoint),
+// invoking hook (if non-nil) after each. When Recover is set, a failed
+// step is handed to it and — if recovery succeeds — re-driven on the
+// same batch, up to MaxStepRetries times; the trainer thus sees a
+// worker failover as at most a retried step.
 func (f *Finetuner) Run(steps int, hook Hook) error {
-	for s := 0; s < steps; s++ {
+	for s := f.StartStep; s < steps; s++ {
 		ids, targets := f.Batcher.Next()
 		f.Obs.StartStep(s)
 		var loss float64
