@@ -7,7 +7,7 @@ GO ?= go
 # machines where cgo/race is unavailable or slow; CI always runs them.
 RACE ?= 1
 
-.PHONY: build test vet lint race race-core bench bench-obs bench-wire bench-all chaos shift restart check
+.PHONY: build test vet lint race race-core bench bench-obs bench-wire bench-trace bench-all chaos shift restart check
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,16 @@ bench:
 bench-obs:
 	$(GO) test -run='^$$' -bench='ObsExchange|ObsHooks' -benchmem ./internal/broker \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+
+# Distributed-tracing overhead gate: the instrumented-vs-uninstrumented
+# exchange pair (now including the worker-side recv/queue/reply hooks),
+# the isolated per-request hook costs on both sides, and one
+# MsgTraceFetch ring drain. The two ObsExchange entries in
+# BENCH_trace.json are the <2%-overhead acceptance check with worker
+# tracing live; the hook benches must stay at 0 allocs/op.
+bench-trace:
+	$(GO) test -run='^$$' -bench='ObsExchange|ObsHooks|WorkerHooks|TraceFetch' -benchmem ./internal/broker \
+		| $(GO) run ./cmd/benchjson > BENCH_trace.json
 
 # Wire codec gate: encode/decode throughput per encoding (fp64, fp16,
 # int8) plus the bytes-per-step comparison of coalesced vs per-expert

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/moe"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/placement"
 	"repro/internal/replace"
 	"repro/internal/trainer"
@@ -54,6 +56,8 @@ type runOptions struct {
 	ckptEvery       int
 	ckptKeep        int
 	resume          bool
+	traceExport     string
+	traceCapacity   int
 }
 
 // runSeeds are the RNG seeds of the deterministic prelude (profile,
@@ -82,6 +86,8 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 5, "checkpoint after every N completed steps")
 	checkpointKeep := flag.Int("checkpoint-keep", checkpoint.DefaultRunKeep, "checkpoint generations to retain")
 	resume := flag.Bool("resume", false, "resume from the newest valid generation in -checkpoint-dir")
+	traceExport := flag.String("trace-export", "", "write the assembled cross-process timeline as Chrome trace-event JSON (Perfetto-loadable) to this file on exit; also pulls worker trace rings at step boundaries and prints the per-step critical path")
+	traceCapacity := flag.Int("trace-capacity", 0, "master trace-ring capacity in events (0 = default 4096; rounded up to a power of two)")
 	flag.Parse()
 
 	if *workers == "" {
@@ -99,6 +105,7 @@ func main() {
 		metricsAddr: *metricsAddr, replaceDrift: *replaceDrift, replaceCooldown: *replaceCooldown,
 		wireEncoding: enc, coalesce: *coalesce,
 		ckptDir: *checkpointDir, ckptEvery: *checkpointEvery, ckptKeep: *checkpointKeep, resume: *resume,
+		traceExport: *traceExport, traceCapacity: *traceCapacity,
 	}
 	if err := run(strings.Split(*workers, ","), *devicesPerNode, *dataset, *strategy, *steps, *pretrainSteps, *ckptPath, opts); err != nil {
 		log.Fatalf("velamaster: %v", err)
@@ -199,11 +206,34 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 	}
 	exec.Traffic = metrics.NewTraffic(topo.NumWorkers(), crossNode)
 
-	handle := obs.NewHandle(obs.Config{Workers: len(addrs), Layers: cfg.Layers, Experts: cfg.Experts})
+	handle := obs.NewHandle(obs.Config{
+		Workers: len(addrs), Layers: cfg.Layers, Experts: cfg.Experts,
+		TraceCapacity: opts.traceCapacity,
+	})
 	handle.Drift.SetBaseline(stats.Prob())
 	handle.Drift.SetPredictedComm(m.CommTime)
 	exec.Obs = handle
 	model.SetObs(handle)
+
+	// The supervisor heartbeats workers in the background, keeps a
+	// step-boundary expert snapshot, and fails dead workers over onto the
+	// survivors; the trainer just retries the interrupted step. (Created
+	// before the metrics endpoint so /healthz can report parked rejoins;
+	// the heartbeat only starts after expert distribution below.)
+	sup := broker.NewSupervisor(exec, prob, broker.SupervisorConfig{HeartbeatInterval: opts.heartbeat})
+	sup.Obs = handle
+	sup.OnFailover = func(dead []int, next *placement.Assignment) {
+		fmt.Printf("  failover: workers %v lost; experts re-placed over survivors\n", dead)
+	}
+	// Rejoin: the heartbeat redials dead workers; a restarted velaworker
+	// answers the handshake and is re-admitted at the next step boundary.
+	sup.Redial = func(n int) (transport.Conn, error) {
+		return transport.Dial(strings.TrimSpace(addrs[n]))
+	}
+	sup.OnRejoin = func(n int) {
+		fmt.Printf("  worker %d rejoined; experts eligible to migrate back\n", n)
+	}
+
 	if opts.metricsAddr != "" {
 		src := obs.Source{
 			Handle: handle, Traffic: exec.Traffic, Recovery: exec.Recovery,
@@ -215,6 +245,7 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 				}
 				return alive
 			},
+			Rejoining: sup.PendingRejoins,
 		}
 		srv, err := obs.Serve(opts.metricsAddr, src)
 		if err != nil {
@@ -235,24 +266,22 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 	}
 	model.SetExecutor(exec)
 
-	// The supervisor heartbeats workers in the background, keeps a
-	// step-boundary expert snapshot, and fails dead workers over onto the
-	// survivors; the trainer just retries the interrupted step.
-	sup := broker.NewSupervisor(exec, prob, broker.SupervisorConfig{HeartbeatInterval: opts.heartbeat})
-	sup.Obs = handle
-	sup.OnFailover = func(dead []int, next *placement.Assignment) {
-		fmt.Printf("  failover: workers %v lost; experts re-placed over survivors\n", dead)
-	}
-	// Rejoin: the heartbeat redials dead workers; a restarted velaworker
-	// answers the handshake and is re-admitted at the next step boundary.
-	sup.Redial = func(n int) (transport.Conn, error) {
-		return transport.Dial(strings.TrimSpace(addrs[n]))
-	}
-	sup.OnRejoin = func(n int) {
-		fmt.Printf("  worker %d rejoined; experts eligible to migrate back\n", n)
-	}
 	sup.Start()
 	defer sup.Stop()
+
+	// Cross-process trace collection: master-side events come straight out
+	// of the handle's ring; worker-side rings are pulled incrementally at
+	// step boundaries (and once more at exit) so a small worker ring never
+	// overwrites events before the master has drained them.
+	var trace *traceCollector
+	if opts.traceExport != "" {
+		trace = newTraceCollector(handle, exec, len(addrs))
+		// Prime the clock estimators before step 0: the heartbeat would
+		// sample eventually, but a short run can finish before its first
+		// tick, and an unsampled worker's events would be rebased with the
+		// identity offset — useless across real process epochs.
+		trace.PrimeClocks()
+	}
 
 	// Online re-placement: when sustained routing drift leaves the solved
 	// placement stale, re-solve over the live estimate and migrate the
@@ -369,6 +398,7 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 				return err
 			}
 		}
+		trace.OnStep()
 		if stopRequested.Load() {
 			return errStopped
 		}
@@ -421,7 +451,116 @@ func run(addrs []string, devicesPerNode int, dataset, strategyName string, steps
 	if err := handle.WriteBreakdown(os.Stdout); err != nil {
 		return err
 	}
+	if trace != nil {
+		if err := trace.Export(opts.traceExport, os.Stdout); err != nil {
+			// Trace export is an observability artifact; a failed write must
+			// not turn a finished run into a failure.
+			fmt.Printf("trace export: %v\n", err)
+		}
+	}
 	return exec.Shutdown()
+}
+
+// traceCollector drains the master and worker trace rings incrementally
+// and assembles them into the cross-process timeline at exit.
+type traceCollector struct {
+	handle *obs.Handle
+	exec   *broker.Executor
+
+	masterEvents []obs.Event
+	masterCursor uint64
+	wkEvents     [][]obs.Event
+	wkCursors    []uint64
+	wkDropped    []uint64
+}
+
+func newTraceCollector(handle *obs.Handle, exec *broker.Executor, workers int) *traceCollector {
+	return &traceCollector{
+		handle:    handle,
+		exec:      exec,
+		wkEvents:  make([][]obs.Event, workers),
+		wkCursors: make([]uint64, workers),
+		wkDropped: make([]uint64, workers),
+	}
+}
+
+// PrimeClocks runs a burst of ping rounds per worker so every clock
+// estimator has real offset/RTT samples before the first traced step.
+// Best-effort: a worker that fails to answer is the supervisor's
+// problem, not the trace's.
+func (t *traceCollector) PrimeClocks() {
+	if t == nil {
+		return
+	}
+	const rounds = 5 // enough for the EWMA to settle past one outlier RTT
+	for n := range t.wkCursors {
+		for i := 0; i < rounds; i++ {
+			if err := t.exec.Ping(n); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// OnStep drains the step's new events. Worker pulls are best-effort: a
+// dead worker is skipped (its already-pulled prefix still renders) and
+// the supervisor's failover handles the request path.
+func (t *traceCollector) OnStep() {
+	if t == nil {
+		return
+	}
+	evs, cur := t.handle.Trace.SnapshotFrom(t.masterCursor)
+	t.masterEvents = append(t.masterEvents, evs...)
+	t.masterCursor = cur
+	dead := t.exec.DeadMask()
+	for n := range t.wkCursors {
+		if n < len(dead) && dead[n] {
+			continue
+		}
+		evs, cur, dropped, err := t.exec.FetchWorkerTrace(n, t.wkCursors[n])
+		if err != nil {
+			continue
+		}
+		t.wkEvents[n] = append(t.wkEvents[n], evs...)
+		t.wkCursors[n] = cur
+		t.wkDropped[n] = dropped
+	}
+}
+
+// Export runs a final drain, rebases worker events through the clock-sync
+// estimates, writes the Chrome trace-event file, and prints the per-step
+// critical path to rep.
+func (t *traceCollector) Export(path string, rep io.Writer) error {
+	t.OnStep()
+	wes := make([]timeline.WorkerEvents, 0, len(t.wkEvents))
+	for n, evs := range t.wkEvents {
+		if len(evs) == 0 {
+			continue
+		}
+		wes = append(wes, timeline.WorkerEvents{
+			Events:     evs,
+			OffsetNs:   t.handle.Clocks.Offset(n),
+			ErrBoundNs: t.handle.Clocks.ErrorBound(n),
+		})
+		if d := t.wkDropped[n]; d > 0 {
+			fmt.Fprintf(rep, "trace: worker %d ring overwrote %d events before they were pulled (raise velaworker -trace-capacity)\n", n, d)
+		}
+	}
+	tl := timeline.Assemble(t.masterEvents, wes...)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(rep, "trace: %d requests across %d workers exported to %s (load in https://ui.perfetto.dev)\n",
+		len(tl.Requests), len(wes), path)
+	return tl.WriteCriticalPath(rep)
 }
 
 func equalSeeds(a, b []int64) bool {

@@ -34,6 +34,7 @@ func main() {
 	id := flag.Int("id", 0, "worker id (diagnostics only)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
 	wireEncoding := flag.String("wire-encoding", "", "force reply encoding: fp64|fp16|int8 (empty mirrors each request's encoding)")
+	traceCapacity := flag.Int("trace-capacity", 0, "trace-ring capacity in events (0 = default 4096; size it to hold at least one step between the master's MsgTraceFetch pulls)")
 	flag.Parse()
 
 	var replyEnc *wire.Encoding
@@ -55,7 +56,7 @@ func main() {
 	// The worker-side handle records per-expert compute timing (indexed by
 	// this worker's own ID) and frame-size histograms off the metered
 	// connection.
-	handle := obs.NewHandle(obs.Config{Workers: *id + 1})
+	handle := obs.NewHandle(obs.Config{Workers: *id + 1, TraceCapacity: *traceCapacity})
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, obs.Source{Handle: handle})
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/moe"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/trainer"
 )
 
@@ -59,7 +60,12 @@ func run() error {
 	// 4 + 5. Locality-aware placement on a 3-node topology (capacity 8
 	// per device forces spreading), then deploy through the broker.
 	topo := cluster.Uniform(6, 2, 8, 18.3*cluster.GB, 1.17*cluster.GB)
-	handle := obs.NewHandle(obs.Config{Workers: topo.NumWorkers(), Layers: cfg.Layers, Experts: cfg.Experts})
+	handle := obs.NewHandle(obs.Config{
+		Workers: topo.NumWorkers(), Layers: cfg.Layers, Experts: cfg.Experts,
+		// Large enough to retain the whole run's exchange lifecycle for the
+		// timeline export below (the default 4096 would keep only the tail).
+		TraceCapacity: 1 << 17,
+	})
 	sys, err := core.Deploy(model, grid, core.Options{
 		Topo:            topo,
 		Stats:           stats,
@@ -90,6 +96,30 @@ func run() error {
 	// far the live routing distribution has drifted from the placement-time
 	// P (Theorem 1 predicts: not far).
 	if err := handle.WriteBreakdown(os.Stdout); err != nil {
+		return err
+	}
+
+	// Cross-process timeline: the in-process deployment shares one trace
+	// ring (and one clock), so master and worker events assemble without a
+	// clock-offset rebase. The export loads in https://ui.perfetto.dev;
+	// the critical path names each step's bounding worker and why.
+	snap := handle.Trace.Snapshot()
+	tl := timeline.Assemble(snap)
+	const tracePath = "vela_trace.json"
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("timeline: %d requests exported to %s (open in https://ui.perfetto.dev)\n",
+		len(tl.Requests), tracePath)
+	if err := tl.WriteCriticalPath(os.Stdout); err != nil {
 		return err
 	}
 

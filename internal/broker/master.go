@@ -817,14 +817,75 @@ func (x *Executor) broadcast(t wire.MsgType, layer int32) error {
 // Ping probes worker n with a heartbeat and reports whether it answered.
 // The probe rides the normal pipelined path, so it honours
 // RequestTimeout and serializes with in-flight rounds on the connection.
+//
+// When instrumented, the ping doubles as a clock-sync exchange: the
+// request carries the master's send timestamp t0, an instrumented
+// worker echoes it with its receive/reply timestamps (t1, t2), and the
+// reply's arrival t3 completes the NTP-style 4-timestamp sample fed to
+// Obs.Clocks. Uninstrumented peers on either side degrade to the plain
+// ping/pong.
 func (x *Executor) Ping(n int) error {
-	return x.pipelined(n, []*wire.Message{{Type: wire.MsgPing}}, nil,
+	msg := &wire.Message{Type: wire.MsgPing}
+	if x.Obs != nil {
+		msg.Tensors = []wire.Matrix{{Rows: 1, Cols: 1, Data: []float64{float64(x.Obs.Trace.Clock())}}}
+	}
+	canRelease := transport.Copies(x.conn(n))
+	return x.pipelined(n, []*wire.Message{msg}, nil,
 		func(_ int, reply *wire.Message) error {
 			if reply.Type != wire.MsgPong {
+				if canRelease {
+					wire.Release(reply)
+				}
 				return fmt.Errorf("broker: worker %d replied %v to ping", n, reply.Type)
+			}
+			if x.Obs != nil && len(reply.Tensors) == 1 && reply.Tensors[0].Rows == 1 && reply.Tensors[0].Cols == 3 {
+				t3 := x.Obs.Trace.Clock()
+				echo := reply.Tensors[0].Data
+				t0, t1, t2 := int64(echo[0]), int64(echo[1]), int64(echo[2])
+				if t1 != 0 || t2 != 0 { // zeros mean the worker has no tracer
+					x.Obs.Clocks.Sample(n, t0, t1, t2, t3)
+				}
+			}
+			if canRelease {
+				wire.Release(reply)
 			}
 			return nil
 		})
+}
+
+// FetchWorkerTrace pulls worker n's trace-ring events past `cursor`
+// (its own tracer's total-order index; 0 fetches everything retained)
+// and returns the events on the worker's clock, the cursor to resume
+// from, and the ring's lifetime overwrite count. It rides the pipelined
+// path at step boundaries, off the training path, so it honours
+// RequestTimeout and serializes with exchanges on the connection.
+func (x *Executor) FetchWorkerTrace(n int, cursor uint64) ([]obs.Event, uint64, uint64, error) {
+	req := &wire.Message{Type: wire.MsgTraceFetch,
+		Tensors: []wire.Matrix{{Rows: 1, Cols: 1, Data: []float64{float64(cursor)}}}}
+	var evs []obs.Event
+	next, dropped := cursor, uint64(0)
+	canRelease := transport.Copies(x.conn(n))
+	err := x.pipelined(n, []*wire.Message{req}, nil, func(_ int, reply *wire.Message) error {
+		defer func() {
+			if canRelease {
+				wire.Release(reply)
+			}
+		}()
+		if reply.Type != wire.MsgTraceFetchResult {
+			return fmt.Errorf("broker: worker %d replied %v to trace fetch", n, reply.Type)
+		}
+		if len(reply.Tensors) < 1 || reply.Tensors[0].Rows != 1 || reply.Tensors[0].Cols != 2 {
+			return fmt.Errorf("broker: worker %d trace-fetch reply lacks the cursor row", n)
+		}
+		next = uint64(reply.Tensors[0].Data[0])
+		dropped = uint64(reply.Tensors[0].Data[1])
+		if len(reply.Tensors) == 2 {
+			// EventsFromRows copies, so releasing the pooled reply is safe.
+			evs = obs.EventsFromRows(reply.Tensors[1].Rows, reply.Tensors[1].Cols, reply.Tensors[1].Data)
+		}
+		return nil
+	})
+	return evs, next, dropped, err
 }
 
 // snapshotExpert pulls a non-destructive copy of expert (layer, e) from

@@ -223,6 +223,6 @@ func BenchmarkObsHooksPerRequest(b *testing.B) {
 		handle.OnSend(0, 1, 2, seq, size)
 		handle.OnReply(0, seq, size)
 		handle.OnDecode(0, 1, 2, seq, 0)
-		handle.OnCompute(0, 1, 2, 0)
+		handle.OnCompute(0, 1, 2, 3, 0)
 	}
 }

@@ -245,6 +245,15 @@ func (s *Supervisor) AdmitRejoins() []int {
 	return admitted
 }
 
+// PendingRejoins reports how many redialed-and-handshaken workers are
+// parked awaiting step-boundary admission — the /healthz "rejoining"
+// count that lets operators tell "down" from "coming back".
+func (s *Supervisor) PendingRejoins() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
 // Rejoin re-admits dead worker n over conn: the executor's connection
 // slot is swapped (MarkAlive), the heartbeat miss counter re-armed, and
 // a verification ping driven through the normal pipelined path. On ping

@@ -180,20 +180,47 @@ func (w *Worker) Serve(conn interface {
 			wg.Wait()
 			return fmt.Errorf("broker: worker %d recv: %w", w.ID, err)
 		}
+		// Frame arrival on the worker tracer's clock: the queue-wait
+		// anchor for compute requests and the t1 echo for clock pings.
+		var arrivedAt int64
+		if w.cfg.Obs != nil {
+			arrivedAt = w.cfg.Obs.Trace.Clock()
+		}
 		if msg.Type == wire.MsgForward || msg.Type == wire.MsgBackward ||
 			msg.Type == wire.MsgForwardMulti || msg.Type == wire.MsgBackwardMulti {
+			if w.cfg.Obs != nil {
+				w.cfg.Obs.OnWorkerRecv(w.ID, int(msg.Layer), int(msg.Expert), msg.Seq,
+					arrivedAt, wire.EncodedSize(msg))
+			}
 			slots <- struct{}{}
 			wg.Add(1)
-			go func(msg *wire.Message) {
+			go func(msg *wire.Message, arrivedAt int64) {
 				defer wg.Done()
 				defer func() { <-slots }()
-				if reply, _ := w.handle(msg); reply != nil {
-					_ = send(reply)
+				reply, _ := w.handleAt(msg, arrivedAt)
+				if reply == nil {
+					return
 				}
-			}(msg)
+				// Size and correlate before Send: over the in-process pipe
+				// the receiver owns the reply as soon as Send returns.
+				seq, layer, expert := msg.Seq, int(msg.Layer), int(msg.Expert)
+				var bytes int
+				var sendT0 int64
+				if w.cfg.Obs != nil {
+					bytes = wire.EncodedSize(reply)
+					sendT0 = w.cfg.Obs.Trace.Clock()
+				}
+				if err := send(reply); err != nil {
+					return
+				}
+				if w.cfg.Obs != nil {
+					w.cfg.Obs.OnWorkerReply(w.ID, layer, expert, seq,
+						time.Duration(w.cfg.Obs.Trace.Clock()-sendT0), bytes)
+				}
+			}(msg, arrivedAt)
 			continue
 		}
-		reply, done := w.handle(msg)
+		reply, done := w.handleAt(msg, arrivedAt)
 		if reply != nil {
 			if err := send(reply); err != nil {
 				wg.Wait()
@@ -210,10 +237,19 @@ func (w *Worker) Serve(conn interface {
 	}
 }
 
-// handle processes one message and returns the reply (nil for none) and
-// whether the serve loop should terminate. It is safe for concurrent use
-// on forward/backward messages; see the Worker concurrency model.
+// handle processes one message with no arrival timestamp (tests and
+// direct drivers); the serve loop calls handleAt with the real one.
 func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
+	return w.handleAt(msg, 0)
+}
+
+// handleAt processes one message and returns the reply (nil for none)
+// and whether the serve loop should terminate. arrivedAt is the frame's
+// arrival on the worker tracer's clock (0 when uninstrumented): the
+// queue-wait anchor for compute requests and the t1 echo for clock
+// pings. It is safe for concurrent use on forward/backward messages;
+// see the Worker concurrency model.
+func (w *Worker) handleAt(msg *wire.Message, arrivedAt int64) (reply *wire.Message, done bool) {
 	switch msg.Type {
 	case wire.MsgAssign:
 		ex, spec, st, err := decodeExpertState(msg)
@@ -261,7 +297,7 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 		return out, false
 
 	case wire.MsgForward:
-		out, err := w.computeReply(msg)
+		out, err := w.computeReply(msg, arrivedAt)
 		if err != nil {
 			return errMsg(msg, err), false
 		}
@@ -269,7 +305,7 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 			Seq: msg.Seq, Tensors: []wire.Matrix{*out}}, false
 
 	case wire.MsgBackward:
-		out, err := w.computeReply(msg)
+		out, err := w.computeReply(msg, arrivedAt)
 		if err != nil {
 			return errMsg(msg, err), false
 		}
@@ -277,7 +313,7 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 			Seq: msg.Seq, Tensors: []wire.Matrix{*out}}, false
 
 	case wire.MsgForwardMulti, wire.MsgBackwardMulti:
-		return w.handleMulti(msg), false
+		return w.handleMulti(msg, arrivedAt), false
 
 	case wire.MsgZeroGrad:
 		w.mu.Lock()
@@ -313,7 +349,46 @@ func (w *Worker) handle(msg *wire.Message) (reply *wire.Message, done bool) {
 		return &wire.Message{Type: wire.MsgAck, Seq: msg.Seq}, false
 
 	case wire.MsgPing:
+		if len(msg.Tensors) == 1 && msg.Tensors[0].Rows == 1 && msg.Tensors[0].Cols == 1 {
+			// Clock-sampling ping: echo the master's t0 with this worker's
+			// receive (t1) and reply (t2) timestamps — the NTP-style
+			// 4-timestamp exchange the master's ClockSync folds in. An
+			// uninstrumented worker echoes t1 = t2 = 0, which the master
+			// discards.
+			var t2 int64
+			if w.cfg.Obs != nil {
+				t2 = w.cfg.Obs.Trace.Clock()
+			}
+			return &wire.Message{Type: wire.MsgPong, Seq: msg.Seq, Tensors: []wire.Matrix{{
+				Rows: 1, Cols: 3,
+				Data: []float64{msg.Tensors[0].Data[0], float64(arrivedAt), float64(t2)},
+			}}}, false
+		}
 		return &wire.Message{Type: wire.MsgPong, Seq: msg.Seq}, false
+
+	case wire.MsgTraceFetch:
+		// Step-boundary trace pull: ship every retained event past the
+		// master's cursor. Tensors[0] echoes the new cursor plus the
+		// ring's lifetime drop count so the master can detect gaps.
+		var from uint64
+		if len(msg.Tensors) == 1 && msg.Tensors[0].Rows == 1 && msg.Tensors[0].Cols == 1 {
+			from = uint64(msg.Tensors[0].Data[0])
+		}
+		var evs []obs.Event
+		var cursor, dropped uint64
+		if w.cfg.Obs != nil {
+			evs, cursor = w.cfg.Obs.Trace.SnapshotFrom(from)
+			dropped = w.cfg.Obs.Trace.Dropped()
+		}
+		out := &wire.Message{Type: wire.MsgTraceFetchResult, Seq: msg.Seq, Tensors: []wire.Matrix{
+			{Rows: 1, Cols: 2, Data: []float64{float64(cursor), float64(dropped)}},
+		}}
+		if len(evs) > 0 {
+			out.Tensors = append(out.Tensors, wire.Matrix{
+				Rows: len(evs), Cols: obs.EventRowWidth, Data: obs.EventsToRows(evs),
+			})
+		}
+		return out, false
 
 	case wire.MsgSnapshot:
 		id := moe.ExpertID{Layer: int(msg.Layer), Expert: int(msg.Expert)}
@@ -362,9 +437,9 @@ func (w *Worker) replyEnc(req wire.Encoding) wire.Encoding {
 // computeReply runs the expert compute for one MsgForward/MsgBackward
 // request and returns the reply matrix with its wire encoding stamped.
 // It is the shared compute body of the per-expert and coalesced paths.
-func (w *Worker) computeReply(msg *wire.Message) (*wire.Matrix, error) {
+func (w *Worker) computeReply(msg *wire.Message, arrivedAt int64) (*wire.Matrix, error) {
 	backward := msg.Type == wire.MsgBackward
-	return w.runExpert(msg, func(e *moe.Expert) (*wire.Matrix, error) {
+	return w.runExpert(msg, arrivedAt, func(e *moe.Expert) (*wire.Matrix, error) {
 		// The copy is load-bearing: the expert's output is a reused
 		// buffer, and the master may still be reading this reply when the
 		// expert's next request overwrites it.
@@ -386,7 +461,7 @@ func (w *Worker) computeReply(msg *wire.Message) (*wire.Matrix, error) {
 // pool) and the reply mirrors the frame layout, echoing the id row. Any
 // expert failure fails the whole frame with one MsgError — the master
 // treats a coalesced frame as one request.
-func (w *Worker) handleMulti(msg *wire.Message) *wire.Message {
+func (w *Worker) handleMulti(msg *wire.Message, arrivedAt int64) *wire.Message {
 	single, resType := wire.MsgForward, wire.MsgForwardMultiResult
 	if msg.Type == wire.MsgBackwardMulti {
 		single, resType = wire.MsgBackward, wire.MsgBackwardMultiResult
@@ -411,7 +486,7 @@ func (w *Worker) handleMulti(msg *wire.Message) *wire.Message {
 			sub := wire.Message{Type: single, Layer: msg.Layer,
 				Expert: int32(ids.Data[i]), Seq: msg.Seq,
 				Tensors: msg.Tensors[1+i : 2+i]}
-			out, err := w.computeReply(&sub)
+			out, err := w.computeReply(&sub, arrivedAt)
 			if err != nil {
 				errs[i] = err
 				return
@@ -438,7 +513,7 @@ func (w *Worker) handleMulti(msg *wire.Message) *wire.Message {
 // execution finds its activations already consumed) is converted into an
 // error reply: one poisoned request must cost one MsgError, not the
 // whole worker process.
-func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix, error)) (out *wire.Matrix, err error) {
+func (w *Worker) runExpert(msg *wire.Message, arrivedAt int64, fn func(*moe.Expert) (*wire.Matrix, error)) (out *wire.Matrix, err error) {
 	if len(msg.Tensors) != 1 {
 		return nil, fmt.Errorf("broker: %v message carries %d tensors, want 1", msg.Type, len(msg.Tensors))
 	}
@@ -468,10 +543,17 @@ func (w *Worker) runExpert(msg *wire.Message, fn func(*moe.Expert) (*wire.Matrix
 	var t0 int64
 	if w.cfg.Obs != nil {
 		t0 = w.cfg.Obs.Trace.Clock()
+		// Queue wait: frame arrival → expert lock acquired. arrivedAt of 0
+		// means the caller had no tracer at Recv time; skip rather than
+		// record a bogus epoch-relative wait.
+		if arrivedAt > 0 {
+			w.cfg.Obs.OnWorkerQueue(w.ID, int(msg.Layer), int(msg.Expert), msg.Seq,
+				time.Duration(t0-arrivedAt))
+		}
 	}
 	out, err = fn(e)
 	if w.cfg.Obs != nil && err == nil {
-		w.cfg.Obs.OnCompute(w.ID, int(msg.Layer), int(msg.Expert),
+		w.cfg.Obs.OnCompute(w.ID, int(msg.Layer), int(msg.Expert), msg.Seq,
 			time.Duration(w.cfg.Obs.Trace.Clock()-t0))
 	}
 	return out, err

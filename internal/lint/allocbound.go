@@ -80,6 +80,9 @@ var obsHotPathFuncs = map[string]bool{
 	"OnReply":         true,
 	"OnDecode":        true,
 	"OnCompute":       true,
+	"OnWorkerRecv":    true,
+	"OnWorkerQueue":   true,
+	"OnWorkerReply":   true,
 	"RoundStart":      true,
 	"WorkerRoundDone": true,
 	"RoundEnd":        true,

@@ -66,3 +66,19 @@ func (t *Tracer) OnDecode(n int, seq uint64) {
 	//velavet:allow allocbound -- fixture: documented one-off growth on first decode
 	t.sink = append(t.sink, Event{Seq: seq})
 }
+
+// OnWorkerRecv mirrors the worker-side arrival hook: a value literal into
+// the ring is the approved shape.
+func (t *Tracer) OnWorkerRecv(n int, seq uint64, at int64, bytes int) {
+	t.buf[seq&t.mask] = Event{At: at, Seq: seq, Kind: 5}
+}
+
+// OnWorkerQueue is a hot worker-side hook too: allocations are findings.
+func (t *Tracer) OnWorkerQueue(n int, seq uint64, wait int64) {
+	t.sink = append(t.sink, Event{Seq: seq}) // want "append allocation in obs per-request hook OnWorkerQueue"
+}
+
+// OnWorkerReply: fmt in the reply hook is a finding like any other hook.
+func (t *Tracer) OnWorkerReply(n int, seq uint64, bytes int) {
+	fmt.Sprintf("%d", bytes) // want "fmt call .interface boxing allocates. in obs per-request hook OnWorkerReply"
+}

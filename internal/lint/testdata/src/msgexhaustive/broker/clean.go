@@ -13,6 +13,10 @@ func dispatchAll(m *wire.Message) int {
 		return 3
 	case wire.MsgShutdown:
 		return 4
+	case wire.MsgTraceFetch:
+		return 5
+	case wire.MsgTraceFetchResult:
+		return 6
 	}
 	return 0
 }
@@ -37,7 +41,7 @@ func dispatchPanicDefault(m *wire.Message) int {
 	switch m.Type {
 	case wire.MsgPing:
 		return 1
-	case wire.MsgPong, wire.MsgError, wire.MsgShutdown:
+	case wire.MsgPong, wire.MsgError, wire.MsgShutdown, wire.MsgTraceFetch, wire.MsgTraceFetchResult:
 		return 2
 	default:
 		panic("unreachable message kind")

@@ -5,7 +5,7 @@ import "fix/wire"
 // dispatchNoDefault misses two declared kinds and has nowhere for an
 // unknown message to go.
 func dispatchNoDefault(m *wire.Message) int {
-	switch m.Type { // want "misses 2 declared message kind.s. .MsgError, MsgShutdown"
+	switch m.Type { // want "misses 4 declared message kind.s. .MsgError, MsgShutdown, MsgTraceFetch, MsgTraceFetchResult"
 	case wire.MsgPing:
 		return 1
 	case wire.MsgPong:
@@ -20,7 +20,7 @@ func dispatchSilentDefault(m *wire.Message) int {
 	switch m.Type {
 	case wire.MsgPing:
 		return 1
-	default: // want "silently discards 3 unhandled message kind"
+	default: // want "silently discards 5 unhandled message kind"
 		return 0
 	}
 }

@@ -9,6 +9,8 @@ const (
 	MsgPong
 	MsgError
 	MsgShutdown
+	MsgTraceFetch
+	MsgTraceFetchResult
 )
 
 // Message is the envelope the dispatchers switch on.

@@ -37,7 +37,10 @@ func TestHotPathHooksDoNotAllocate(t *testing.T) {
 			seq++
 		}},
 		{"OnDecode", func() { h.OnDecode(0, 1, 1, seq, time.Microsecond) }},
-		{"OnCompute", func() { h.OnCompute(1, 0, 2, 50*time.Microsecond) }},
+		{"OnCompute", func() { h.OnCompute(1, 0, 2, 7, 50*time.Microsecond) }},
+		{"OnWorkerRecv", func() { h.OnWorkerRecv(1, 0, 2, seq, 12345, 4096) }},
+		{"OnWorkerQueue", func() { h.OnWorkerQueue(1, 0, 2, seq, 3*time.Microsecond) }},
+		{"OnWorkerReply", func() { h.OnWorkerReply(1, 0, 2, seq, 9*time.Microsecond, 2048) }},
 		{"Span", func() {
 			sp := h.Begin(PhaseExchange)
 			sp.End()
@@ -72,7 +75,10 @@ func TestNilHandleHooksDoNotAllocate(t *testing.T) {
 		h.OnSend(0, 0, 0, 1, 10)
 		h.OnReply(0, 1, 10)
 		h.OnDecode(0, 0, 0, 1, time.Microsecond)
-		h.OnCompute(0, 0, 0, time.Microsecond)
+		h.OnCompute(0, 0, 0, 1, time.Microsecond)
+		h.OnWorkerRecv(0, 0, 0, 1, 0, 10)
+		h.OnWorkerQueue(0, 0, 0, 1, time.Microsecond)
+		h.OnWorkerReply(0, 0, 0, 1, time.Microsecond, 10)
 		sp := h.Begin(PhaseForward)
 		sp.End()
 		h.WorkerRoundDone(0, h.RoundStart())

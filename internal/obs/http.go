@@ -12,6 +12,7 @@ import (
 //
 //	/metrics      Prometheus text exposition (WriteMetrics over src)
 //	/healthz      JSON liveness summary; 503 once any worker is dead
+//	/trace        the trace ring as JSONL, oldest retained event first
 //	/debug/pprof  the standard Go profiling handlers
 func NewMux(src Source) *http.ServeMux {
 	mux := http.NewServeMux()
@@ -32,15 +33,33 @@ func NewMux(src Source) *http.ServeMux {
 				up++
 			}
 		}
+		rejoining := 0
+		if src.Rejoining != nil {
+			rejoining = src.Rejoining()
+		}
 		status := "ok"
 		code := http.StatusOK
 		if up < total {
+			// Down and coming back are different operator stories: a worker
+			// with a parked rejoin connection is re-admitted at the next
+			// step boundary.
 			status = "degraded"
+			if rejoining > 0 {
+				status = "rejoining"
+			}
 			code = http.StatusServiceUnavailable
 		}
 		w.WriteHeader(code)
 		//lint:ignore errdispatch a failed health write means the client went away; nothing to report to
-		_, _ = fmt.Fprintf(w, `{"status":%q,"workers":%d,"alive":%d}`+"\n", status, total, up)
+		_, _ = fmt.Fprintf(w, `{"status":%q,"workers":%d,"alive":%d,"rejoining":%d}`+"\n", status, total, up, rejoining)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if src.Handle == nil {
+			return
+		}
+		//lint:ignore errdispatch a failed trace write means the client went away; nothing to report to
+		_ = src.Handle.Trace.WriteJSONL(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -29,7 +29,7 @@ func populatedSource() Source {
 		h.OnEnqueue(n, 0, n, 5*time.Microsecond)
 		h.OnSend(n, 0, n, uint64(n), 2048)
 		h.OnReply(n, uint64(n), 1024)
-		h.OnCompute(n, 0, n, 40*time.Microsecond)
+		h.OnCompute(n, 0, n, 1, 40*time.Microsecond)
 		h.WorkerRoundDone(n, start)
 	}
 	h.RoundEnd()
@@ -267,6 +267,132 @@ func TestHealthzReflectsLiveness(t *testing.T) {
 	code, body = get()
 	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"status":"degraded"`) || !strings.Contains(body, `"alive":1`) {
 		t.Fatalf("degraded: code=%d body=%s", code, body)
+	}
+}
+
+// TestHealthzReportsRejoining pins the rejoin-aware health status: a
+// down worker with a parked rejoin connection reports "rejoining" (still
+// 503 — the pool is short-handed) with the count in the payload.
+func TestHealthzReportsRejoining(t *testing.T) {
+	alive := []bool{true, false}
+	rejoining := 1
+	src := Source{
+		Alive:     func() []bool { return alive },
+		Rejoining: func() int { return rejoining },
+	}
+	srv := httptest.NewServer(NewMux(src))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(string(b), `"status":"rejoining"`) ||
+		!strings.Contains(string(b), `"rejoining":1`) {
+		t.Fatalf("rejoining healthz: code=%d body=%s", resp.StatusCode, b)
+	}
+
+	// Once re-admitted everything is green again and the count is zero.
+	alive[1] = true
+	rejoining = 0
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	b, err = io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(b), `"rejoining":0`) {
+		t.Fatalf("recovered healthz: code=%d body=%s", resp2.StatusCode, b)
+	}
+}
+
+// TestTraceEndpointServesJSONL pins /trace: the worker-side pull path the
+// master's MsgTraceFetch complements — every retained ring event comes
+// back as one JSON line.
+func TestTraceEndpointServesJSONL(t *testing.T) {
+	h := NewHandle(Config{Workers: 1})
+	h.OnWorkerRecv(0, 2, 3, 7, 100, 4096)
+	h.OnWorkerQueue(0, 2, 3, 7, 5*time.Microsecond)
+	h.OnCompute(0, 2, 3, 7, 40*time.Microsecond)
+	h.OnWorkerReply(0, 2, 3, 7, 9*time.Microsecond, 2048)
+	srv := httptest.NewServer(NewMux(Source{Handle: h}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d trace lines, want 4:\n%s", len(lines), raw)
+	}
+	for _, kind := range []string{"wk_recv", "wk_queue", "compute", "wk_reply"} {
+		if !strings.Contains(string(raw), `"kind":"`+kind+`"`) {
+			t.Fatalf("trace output missing kind %q:\n%s", kind, raw)
+		}
+	}
+
+	// No handle: the endpoint answers empty instead of panicking.
+	srv2 := httptest.NewServer(NewMux(Source{}))
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if b, _ := io.ReadAll(resp2.Body); len(b) != 0 {
+		t.Fatalf("handle-less /trace returned %q, want empty", b)
+	}
+}
+
+// TestMetricsExposeClockGauges pins the clock-alignment exposition: once
+// a worker has a ping sample, its offset/rtt/error-bound gauges appear.
+func TestMetricsExposeClockGauges(t *testing.T) {
+	src := populatedSource()
+	src.Handle.Clocks.Sample(1, 1_000_000, 1_300_000, 1_340_000, 1_600_000)
+	srv := httptest.NewServer(NewMux(src))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE vela_trace_clock_offset_ns gauge",
+		`vela_trace_clock_offset_ns{worker="1"}`,
+		`vela_trace_clock_rtt_ns{worker="1"}`,
+		`vela_trace_clock_error_bound_ns{worker="1"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+	// The never-sampled worker 0 must not fabricate an estimate.
+	if strings.Contains(body, `vela_trace_clock_offset_ns{worker="0"}`) {
+		t.Fatal("unsampled worker got a clock gauge")
 	}
 }
 

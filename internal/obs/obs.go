@@ -88,6 +88,11 @@ type Handle struct {
 	// Ckpt is the run-level checkpoint pipeline's counters (zero-valued
 	// until a checkpointer is wired; always scrapeable).
 	Ckpt *CkptStats
+	// Clocks holds the per-worker clock-offset/RTT estimates fed by the
+	// heartbeat ping's timestamp echoes (zero-valued until the first
+	// sampled ping; in-process deployments share the master clock and
+	// keep the identity offset).
+	Clocks *ClockSync
 
 	// Per-worker histograms, indexed by worker ID. Hooks with an
 	// out-of-range worker index are dropped (a worker-side handle sized
@@ -138,6 +143,7 @@ func NewHandle(cfg Config) *Handle {
 		Drift:     NewDriftMonitor(cfg.Layers, cfg.Experts, cfg.DriftAlpha),
 		Replace:   NewReplaceStats(),
 		Ckpt:      NewCkptStats(),
+		Clocks:    NewClockSync(cfg.Workers),
 		QueueWait: NewHistogram(LatencyBounds()),
 		FrameTx:   NewHistogram(SizeBounds()),
 		FrameRx:   NewHistogram(SizeBounds()),
@@ -271,10 +277,11 @@ func (h *Handle) OnDecode(n, layer, expert int, seq uint64, d time.Duration) {
 	})
 }
 
-// OnCompute records one expert forward/backward taking d on worker n.
-// Called worker-side from runExpert; on a handle sized for fewer workers
-// the histogram observation is dropped but the trace event is kept.
-func (h *Handle) OnCompute(n, layer, expert int, d time.Duration) {
+// OnCompute records one expert forward/backward taking d on worker n,
+// correlated to the request by seq. Called worker-side from runExpert;
+// on a handle sized for fewer workers the histogram observation is
+// dropped but the trace event is kept.
+func (h *Handle) OnCompute(n, layer, expert int, seq uint64, d time.Duration) {
 	if h == nil {
 		return
 	}
@@ -283,7 +290,45 @@ func (h *Handle) OnCompute(n, layer, expert int, d time.Duration) {
 	}
 	h.Trace.Record(Event{
 		Kind: EvCompute, Step: h.stepNow(), Worker: int32(n),
-		Layer: int32(layer), Expert: int32(expert), Dur: d.Nanoseconds(),
+		Layer: int32(layer), Expert: int32(expert), Seq: seq, Dur: d.Nanoseconds(),
+	})
+}
+
+// OnWorkerRecv records a request frame of `bytes` encoded bytes arriving
+// at worker n at time `at` (the worker tracer's clock). Returns `at`
+// stamped by the hook when the caller passes 0.
+func (h *Handle) OnWorkerRecv(n, layer, expert int, seq uint64, at int64, bytes int) {
+	if h == nil {
+		return
+	}
+	h.Trace.Record(Event{
+		At: at, Kind: EvWkRecv, Step: h.stepNow(), Worker: int32(n),
+		Layer: int32(layer), Expert: int32(expert), Seq: seq, Bytes: int64(bytes),
+	})
+}
+
+// OnWorkerQueue records a worker request acquiring its expert lock after
+// waiting `wait` since frame arrival.
+func (h *Handle) OnWorkerQueue(n, layer, expert int, seq uint64, wait time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Trace.Record(Event{
+		Kind: EvWkQueue, Step: h.stepNow(), Worker: int32(n),
+		Layer: int32(layer), Expert: int32(expert), Seq: seq, Dur: wait.Nanoseconds(),
+	})
+}
+
+// OnWorkerReply records worker n's reply of `bytes` encoded bytes handed
+// to the transport after `d` of encode+send (including the
+// reply-serialization wait).
+func (h *Handle) OnWorkerReply(n, layer, expert int, seq uint64, d time.Duration, bytes int) {
+	if h == nil {
+		return
+	}
+	h.Trace.Record(Event{
+		Kind: EvWkReply, Step: h.stepNow(), Worker: int32(n),
+		Layer: int32(layer), Expert: int32(expert), Seq: seq, Dur: d.Nanoseconds(), Bytes: int64(bytes),
 	})
 }
 

@@ -18,6 +18,11 @@ type Source struct {
 	// Alive reports per-worker liveness (the Supervisor's view via
 	// Executor.DeadMask, inverted). Feeds vela_worker_alive and /healthz.
 	Alive func() []bool
+	// Rejoining reports how many redialed workers are parked awaiting
+	// step-boundary re-admission (Supervisor.PendingRejoins). Feeds the
+	// /healthz "rejoining" count and vela_workers_rejoining, so
+	// operators can tell "down" from "coming back".
+	Rejoining func() int
 }
 
 // WriteMetrics writes the full metric catalogue in Prometheus text
@@ -61,6 +66,39 @@ func WriteMetrics(w io.Writer, s Source) error {
 		}
 		pw.histogram("vela_frame_bytes", "Encoded frame sizes.", `dir="tx"`, h.FrameTx.Snapshot())
 		pw.histogram("vela_frame_bytes", "", `dir="rx"`, h.FrameRx.Snapshot())
+
+		if c := h.Clocks; c != nil {
+			sampled := false
+			for n := 0; n < h.Workers(); n++ {
+				if c.Samples(n) > 0 {
+					sampled = true
+					break
+				}
+			}
+			// Only workers with at least one echo get series: exporting the
+			// identity estimate for a never-sampled worker would read as a
+			// measured zero offset.
+			if sampled {
+				pw.header("vela_trace_clock_offset_ns", "gauge", "EWMA clock offset of each worker vs the master (worker = master + offset).")
+				for n := 0; n < h.Workers(); n++ {
+					if c.Samples(n) > 0 {
+						pw.sample("vela_trace_clock_offset_ns", `worker="`+strconv.Itoa(n)+`"`, float64(c.Offset(n)))
+					}
+				}
+				pw.header("vela_trace_clock_rtt_ns", "gauge", "EWMA ping round-trip time per worker (clock-sync exchange).")
+				for n := 0; n < h.Workers(); n++ {
+					if c.Samples(n) > 0 {
+						pw.sample("vela_trace_clock_rtt_ns", `worker="`+strconv.Itoa(n)+`"`, float64(c.RTT(n)))
+					}
+				}
+				pw.header("vela_trace_clock_error_bound_ns", "gauge", "Worst-case rebasing error of worker trace events (rtt/2 + offset jitter).")
+				for n := 0; n < h.Workers(); n++ {
+					if c.Samples(n) > 0 {
+						pw.sample("vela_trace_clock_error_bound_ns", `worker="`+strconv.Itoa(n)+`"`, float64(c.ErrorBound(n)))
+					}
+				}
+			}
+		}
 
 		if drift := h.Drift.Drift(); drift != nil {
 			pw.header("vela_p_drift_l1", "gauge", "Per-layer L1 distance between EWMA routing estimate and placement-time P.")
@@ -159,6 +197,11 @@ func WriteMetrics(w io.Writer, s Source) error {
 		pw.sample("vela_workers_alive", "", float64(up))
 		pw.header("vela_workers_total", "gauge", "Size of the worker pool.")
 		pw.sample("vela_workers_total", "", float64(len(alive)))
+	}
+
+	if s.Rejoining != nil {
+		pw.header("vela_workers_rejoining", "gauge", "Dead workers redialed and parked awaiting step-boundary re-admission.")
+		pw.sample("vela_workers_rejoining", "", float64(s.Rejoining()))
 	}
 
 	return pw.err

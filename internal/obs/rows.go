@@ -1,0 +1,42 @@
+package obs
+
+// EventRowWidth is the number of float64 columns one Event occupies in
+// the MsgTraceFetch wire layout: [at, dur, seq, bytes, step, layer,
+// expert, worker, kind, phase].
+const EventRowWidth = 10
+
+// EventsToRows flattens events into the N×EventRowWidth row-major matrix
+// the MsgTraceFetch reply carries. Nanosecond timestamps and Seq values
+// stay exact below 2^53 — centuries of uptime and petaevents beyond any
+// ring capacity — so float64 is a lossless carrier here. Cold path
+// (step-boundary fetch), so allocating the slice is fine.
+func EventsToRows(evs []Event) []float64 {
+	out := make([]float64, 0, len(evs)*EventRowWidth)
+	for _, ev := range evs {
+		out = append(out,
+			float64(ev.At), float64(ev.Dur), float64(ev.Seq), float64(ev.Bytes),
+			float64(ev.Step), float64(ev.Layer), float64(ev.Expert), float64(ev.Worker),
+			float64(ev.Kind), float64(ev.Phase))
+	}
+	return out
+}
+
+// EventsFromRows rebuilds events from the wire layout. Rows with an
+// unexpected width are dropped (a zero-length result, not an error:
+// trace transport is best-effort diagnostics). The data is copied, so
+// the caller may release a pooled source frame afterwards.
+func EventsFromRows(rows, cols int, data []float64) []Event {
+	if cols != EventRowWidth || rows <= 0 || len(data) < rows*cols {
+		return nil
+	}
+	out := make([]Event, rows)
+	for i := range out {
+		r := data[i*cols:]
+		out[i] = Event{
+			At: int64(r[0]), Dur: int64(r[1]), Seq: uint64(r[2]), Bytes: int64(r[3]),
+			Step: int32(r[4]), Layer: int32(r[5]), Expert: int32(r[6]), Worker: int32(r[7]),
+			Kind: EventKind(r[8]), Phase: Phase(r[9]),
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sync"
@@ -30,6 +31,18 @@ const (
 	// EvSpan marks a completed step-phase span; Phase names it and Dur
 	// is its length.
 	EvSpan
+	// EvWkRecv marks a request frame arriving at a worker; At is the
+	// arrival timestamp on the worker clock and Bytes the decoded frame
+	// size. Worker-side kinds carry the request Seq so the master can
+	// correlate them with its own EvSend/EvReply records.
+	EvWkRecv
+	// EvWkQueue marks a worker request acquiring its expert lock; At is
+	// the acquisition time and Dur the queue wait since frame arrival.
+	EvWkQueue
+	// EvWkReply marks a worker reply handed to the transport; Dur is the
+	// encode+send time (including the reply-serialization wait) and
+	// Bytes the encoded reply size.
+	EvWkReply
 )
 
 // String implements fmt.Stringer.
@@ -47,6 +60,12 @@ func (k EventKind) String() string {
 		return "decode"
 	case EvSpan:
 		return "span"
+	case EvWkRecv:
+		return "wk_recv"
+	case EvWkQueue:
+		return "wk_queue"
+	case EvWkReply:
+		return "wk_reply"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -170,17 +189,57 @@ func (t *Tracer) Snapshot() []Event {
 	return out
 }
 
+// SnapshotFrom copies the retained events whose total-order index is at
+// least `from` (0 fetches everything retained), oldest first, and
+// returns the cursor to pass as `from` next time. Events that wrapped
+// out of the ring before the call are lost — the caller can detect the
+// gap by comparing `from` against Dropped. A nil tracer returns
+// (nil, 0).
+func (t *Tracer) SnapshotFrom(from uint64) ([]Event, uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	for i := range t.mu {
+		t.mu[i].Lock()
+	}
+	defer func() {
+		for i := range t.mu {
+			t.mu[i].Unlock()
+		}
+	}()
+	total := t.cursor.Load()
+	if from >= total {
+		return nil, total
+	}
+	oldest := uint64(0)
+	if total > uint64(len(t.buf)) {
+		oldest = total - uint64(len(t.buf))
+	}
+	if from < oldest {
+		from = oldest
+	}
+	out := make([]Event, 0, total-from)
+	for idx := from; idx < total; idx++ {
+		out = append(out, t.buf[idx&t.mask])
+	}
+	return out, total
+}
+
 // WriteJSONL writes the retained events as one JSON object per line,
 // oldest first. The encoding is hand-rolled (fixed field set, no
-// reflection) so the export format is stable and dependency-free.
+// reflection) so the export format is stable and dependency-free. The
+// writer is buffered internally and flushed once, so an unbuffered
+// destination (a socket, an os.File) pays one write per chunk, not one
+// per event.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
 	for _, ev := range t.Snapshot() {
-		_, err := fmt.Fprintf(w,
+		_, err := fmt.Fprintf(bw,
 			`{"at_ns":%d,"kind":%q,"step":%d,"layer":%d,"expert":%d,"worker":%d,"seq":%d,"dur_ns":%d,"bytes":%d,"phase":%q}`+"\n",
 			ev.At, ev.Kind.String(), ev.Step, ev.Layer, ev.Expert, ev.Worker, ev.Seq, ev.Dur, ev.Bytes, ev.Phase.String())
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }

@@ -85,6 +85,16 @@ const (
 	// MsgBackwardMultiResult mirrors MsgBackwardMulti with the input
 	// gradients.
 	MsgBackwardMultiResult
+	// MsgTraceFetch asks the worker for its trace-ring events past a
+	// cursor (Tensors[0] is a 1×1 [cursor] row; an absent tensor means
+	// "from the beginning"). The master issues it at step boundaries,
+	// off the training path.
+	MsgTraceFetch
+	// MsgTraceFetchResult returns the events: Tensors[0] is a 1×2
+	// [newCursor, dropped] row, Tensors[1] (present only when events
+	// exist) an N×10 matrix of rows [at, dur, seq, bytes, step, layer,
+	// expert, worker, kind, phase] — all exact in float64 below 2^53.
+	MsgTraceFetchResult
 )
 
 // msgTypeNames is the package-level name table. String runs inside trace
@@ -113,6 +123,8 @@ var msgTypeNames = [...]string{
 	MsgForwardMultiResult:  "forward_multi_result",
 	MsgBackwardMulti:       "backward_multi",
 	MsgBackwardMultiResult: "backward_multi_result",
+	MsgTraceFetch:          "trace_fetch",
+	MsgTraceFetchResult:    "trace_fetch_result",
 }
 
 // String implements fmt.Stringer.
